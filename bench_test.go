@@ -1,0 +1,177 @@
+package filterjoin_test
+
+// The benchmark harness: one testing.B benchmark per experiment in the
+// reproduction suite (DESIGN.md §4 maps them to the paper's tables and
+// figures), plus engine micro-benchmarks. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks execute the full regeneration of their
+// artifact per iteration and report the experiment's headline figure as
+// a custom metric where one exists.
+
+import (
+	"testing"
+
+	"filterjoin/internal/core"
+	"filterjoin/internal/cost"
+	"filterjoin/internal/datagen"
+	"filterjoin/internal/exec"
+	"filterjoin/internal/experiments"
+	"filterjoin/internal/opt"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := e.Run()
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(r.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// BenchmarkE1CostComponents regenerates Table 1.
+func BenchmarkE1CostComponents(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkE2JoinOrders regenerates Figure 3.
+func BenchmarkE2JoinOrders(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkE3CardinalityFit regenerates Figure 4.
+func BenchmarkE3CardinalityFit(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkE4EquivClasses regenerates Figure 5.
+func BenchmarkE4EquivClasses(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkE5Taxonomy regenerates Figure 6.
+func BenchmarkE5Taxonomy(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkE6Crossover regenerates the §1/§2 crossover claim.
+func BenchmarkE6Crossover(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkE7OptComplexity regenerates the §3 complexity claim.
+func BenchmarkE7OptComplexity(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkE8Distributed regenerates the §5.1 regime analysis.
+func BenchmarkE8Distributed(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkE9Bloom regenerates the lossy-filter sweep.
+func BenchmarkE9Bloom(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkE10UDR regenerates the §5.2 strategies table.
+func BenchmarkE10UDR(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkE11EstimateAccuracy regenerates the estimate-quality table.
+func BenchmarkE11EstimateAccuracy(b *testing.B) { benchExperiment(b, "E11") }
+
+// BenchmarkE12AttrSubsets regenerates the Limitation-3 subset table.
+func BenchmarkE12AttrSubsets(b *testing.B) { benchExperiment(b, "E12") }
+
+// BenchmarkE13PrefixProduction regenerates the Limitation-2 ablation.
+func BenchmarkE13PrefixProduction(b *testing.B) { benchExperiment(b, "E13") }
+
+// BenchmarkE14MultiView regenerates the multiple-views interaction table.
+func BenchmarkE14MultiView(b *testing.B) { benchExperiment(b, "E14") }
+
+// ---------------------------------------------------------------------
+// Engine micro-benchmarks
+// ---------------------------------------------------------------------
+
+// BenchmarkOptimizeFig1 measures one cost-based optimization of the
+// Fig 1 query with the Filter Join available (coster cache warm — the
+// steady state the paper's Assumption 1 targets).
+func BenchmarkOptimizeFig1(b *testing.B) {
+	cat, err := datagen.Fig1Catalog(datagen.DefaultFig1())
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := cost.DefaultModel()
+	o := opt.New(cat, model)
+	o.Register(core.NewMethod(core.Options{}))
+	if _, err := o.OptimizeBlock(datagen.Fig1Query()); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.OptimizeBlock(datagen.Fig1Query()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimizeFig1NoFilterJoin is the baseline for the previous
+// benchmark: the same optimization without the method registered.
+func BenchmarkOptimizeFig1NoFilterJoin(b *testing.B) {
+	cat, err := datagen.Fig1Catalog(datagen.DefaultFig1())
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := opt.New(cat, cost.DefaultModel())
+	if _, err := o.OptimizeBlock(datagen.Fig1Query()); err != nil {
+		b.Fatal(err) // warm statistics and view-leaf caches
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.OptimizeBlock(datagen.Fig1Query()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecuteFilterJoinPlan measures executing the Fig 1 query with
+// the Filter Join plan, end to end.
+func BenchmarkExecuteFilterJoinPlan(b *testing.B) {
+	p := datagen.DefaultFig1()
+	p.BigFrac = 0.05
+	cat, err := datagen.Fig1Catalog(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := opt.New(cat, cost.DefaultModel())
+	o.Register(core.NewMethod(core.Options{}))
+	pl, err := o.OptimizeBlock(datagen.Fig1Query())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := exec.NewContext()
+		if _, err := exec.Count(ctx, pl.Make()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecuteFullComputationPlan is the baseline executor run: the
+// same query with the Filter Join disabled.
+func BenchmarkExecuteFullComputationPlan(b *testing.B) {
+	p := datagen.DefaultFig1()
+	p.BigFrac = 0.05
+	cat, err := datagen.Fig1Catalog(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := opt.New(cat, cost.DefaultModel())
+	pl, err := o.OptimizeBlock(datagen.Fig1Query())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := exec.NewContext()
+		if _, err := exec.Count(ctx, pl.Make()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

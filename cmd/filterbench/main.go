@@ -1,0 +1,62 @@
+// Command filterbench regenerates the paper's tables and figures. Each
+// experiment (see DESIGN.md §4) is a subcommand; with no arguments the
+// whole suite runs in order.
+//
+// Usage:
+//
+//	filterbench             # run every experiment
+//	filterbench E6 E8       # run selected experiments
+//	filterbench -list       # list experiment ids and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"filterjoin/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: filterbench [-list] [experiment ids...]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var toRun []experiments.Entry
+	if args := flag.Args(); len(args) > 0 {
+		for _, id := range args {
+			e, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "filterbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			toRun = append(toRun, e)
+		}
+	} else {
+		toRun = experiments.Registry
+	}
+
+	failed := 0
+	for _, e := range toRun {
+		r, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "filterbench: %s failed: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		fmt.Println(r.String())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

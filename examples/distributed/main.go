@@ -1,0 +1,75 @@
+// Distributed: a local Customer table joins a remote Orders table and a
+// remote per-customer OrderTotals view (the heterogeneous scenario of
+// paper §5.1). The example executes the join under three network cost
+// regimes and shows how the optimizer's strategy shifts from
+// fetch-matches (System R* style) to the semi-join / Filter Join
+// (SDD-1 style) as communication gets more expensive.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"filterjoin/internal/catalog"
+	"filterjoin/internal/core"
+	"filterjoin/internal/cost"
+	"filterjoin/internal/datagen"
+	"filterjoin/internal/exec"
+	"filterjoin/internal/opt"
+	"filterjoin/internal/plan"
+	"filterjoin/internal/query"
+)
+
+func run(cat *catalog.Catalog, b *query.Block, model cost.Model) (string, float64, cost.Counter) {
+	o := opt.New(cat, model)
+	o.Register(core.NewMethod(core.Options{Bloom: true}))
+	p, err := o.OptimizeBlock(b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := exec.NewContext()
+	if _, err := exec.Count(ctx, p.Make()); err != nil {
+		log.Fatal(err)
+	}
+	return topJoin(p), model.Total(*ctx.Counter), *ctx.Counter
+}
+
+func topJoin(p *plan.Node) string {
+	for _, kind := range []string{"FilterJoin", "FetchMatches", "HashJoin", "MergeJoin", "NestedLoopJoin"} {
+		if p.Find(kind) != nil {
+			return kind
+		}
+	}
+	return "?"
+}
+
+func main() {
+	cat, err := datagen.DistCatalog(datagen.DefaultDist())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Customer (local) ⋈ Orders (site 1), optimizer free to choose:")
+	fmt.Printf("%-12s  %-14s  %10s  %10s  %8s\n", "net weight", "strategy", "cost", "net KB", "msgs")
+	base := cost.DefaultModel()
+	for _, scale := range []float64{0.1, 1, 25} {
+		m := base
+		m.NetByte *= scale
+		m.NetMsg *= scale
+		strat, total, c := run(cat, datagen.DistBaseQuery(), m)
+		fmt.Printf("%-12g  %-14s  %10.1f  %10.1f  %8d\n",
+			scale, strat, total, float64(c.NetBytes)/1024, c.NetMsgs)
+	}
+
+	fmt.Println("\nCustomer (local) ⋈ OrderTotals (remote VIEW at site 1):")
+	for _, scale := range []float64{1, 25} {
+		m := base
+		m.NetByte *= scale
+		m.NetMsg *= scale
+		strat, total, c := run(cat, datagen.DistQuery(), m)
+		fmt.Printf("net ×%-4g: strategy=%s cost=%.1f netKB=%.1f\n",
+			scale, strat, total, float64(c.NetBytes)/1024)
+	}
+	fmt.Println("\nWith the Filter Join, the remote view is restricted at its home site —")
+	fmt.Println("only qualifying customers' totals ever cross the network.")
+}

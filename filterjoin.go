@@ -1,0 +1,485 @@
+// Package filterjoin is a from-scratch reproduction of "Cost-Based
+// Optimization for Magic: Algebra and Implementation" (SIGMOD 1996; TR
+// #1273 "Filter Joins: Cost-Based Optimization for Magic Sets"): a small
+// relational engine whose System R style optimizer treats magic-sets
+// rewriting as a join method — the Filter Join — with a full Table 1
+// cost formula, instead of as a heuristic query rewrite.
+//
+// The engine supports local tables, views (table expressions), remote
+// relations and remote views in a simulated multi-site configuration,
+// and user-defined (function-backed) relations: all the "virtual
+// relation" flavors of the paper, all uniformly eligible for Filter
+// Joins.
+//
+// Quick start:
+//
+//	db := filterjoin.Open(filterjoin.Config{})
+//	_ = db.ExecScript(`
+//	    CREATE TABLE Emp (eid int, did int, sal float, age int);
+//	    CREATE VIEW DepAvgSal AS
+//	      (SELECT E.did, AVG(E.sal) AS avgsal FROM Emp E GROUP BY E.did);
+//	`)
+//	res, _ := db.Query(`SELECT E.did FROM Emp E, DepAvgSal V
+//	                    WHERE E.did = V.did AND E.sal > V.avgsal`)
+//	fmt.Println(res.Rows, res.Cost)
+package filterjoin
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"filterjoin/internal/catalog"
+	"filterjoin/internal/core"
+	"filterjoin/internal/cost"
+	"filterjoin/internal/exec"
+	"filterjoin/internal/opt"
+	"filterjoin/internal/plan"
+	"filterjoin/internal/query"
+	"filterjoin/internal/schema"
+	"filterjoin/internal/sql"
+	"filterjoin/internal/stats"
+	"filterjoin/internal/storage"
+	"filterjoin/internal/value"
+)
+
+// Config configures a DB.
+type Config struct {
+	// Model supplies the cost weights; zero value means DefaultModel.
+	Model *cost.Model
+	// DisableFilterJoin turns the paper's join method off entirely
+	// (the baseline optimizer).
+	DisableFilterJoin bool
+	// FilterJoin tunes the Filter Join method (attribute subsets, Bloom
+	// filters, stored-relation semi-joins, coster sample points).
+	FilterJoin core.Options
+	// MaxRelations caps the DP size (default 14).
+	MaxRelations int
+}
+
+// DB is an in-memory database instance: a catalog plus a configured
+// optimizer, with SQL and programmatic entry points.
+//
+// A DB serializes its operations internally: Exec/Query/Plan calls are
+// safe from multiple goroutines, but run one at a time (the engine is a
+// single-threaded simulator; Filter Join execution plants transient
+// catalog entries that must not interleave).
+type DB struct {
+	mu    sync.Mutex
+	cat   *catalog.Catalog
+	o     *opt.Optimizer
+	fj    *core.Method
+	model cost.Model
+}
+
+// Open creates an empty database.
+func Open(cfg Config) *DB {
+	model := cost.DefaultModel()
+	if cfg.Model != nil {
+		model = *cfg.Model
+	}
+	cat := catalog.New()
+	o := opt.New(cat, model)
+	if cfg.MaxRelations > 0 {
+		o.MaxRelations = cfg.MaxRelations
+	}
+	db := &DB{cat: cat, o: o, model: model}
+	if !cfg.DisableFilterJoin {
+		db.fj = core.NewMethod(cfg.FilterJoin)
+		o.Register(db.fj)
+	}
+	return db
+}
+
+// Catalog exposes the relation catalog.
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// Optimizer exposes the optimizer (metrics, method toggles, overrides).
+func (db *DB) Optimizer() *opt.Optimizer { return db.o }
+
+// FilterJoin exposes the registered Filter Join method; nil when the
+// method is disabled.
+func (db *DB) FilterJoin() *core.Method { return db.fj }
+
+// Model returns the cost model in effect.
+func (db *DB) Model() cost.Model { return db.model }
+
+// Result is the outcome of running one query.
+type Result struct {
+	Columns []string
+	Rows    []value.Row
+	Cost    cost.Counter // measured execution cost counters
+	Plan    *plan.Node   // the plan that produced the rows
+}
+
+// TotalCost weighs the measured counters under the DB's cost model.
+func (db *DB) TotalCost(r *Result) float64 { return db.model.Total(r.Cost) }
+
+// Exec runs one SQL statement. DDL and INSERT return a nil *Result;
+// SELECT returns rows.
+func (db *DB) Exec(text string) (*Result, error) {
+	st, err := sql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.execStmt(st)
+}
+
+// ExecScript runs a semicolon-separated sequence of statements,
+// discarding SELECT results.
+func (db *DB) ExecScript(text string) error {
+	sts, err := sql.ParseScript(text)
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, st := range sts {
+		if _, err := db.execStmt(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Query runs a SELECT statement and returns its rows.
+func (db *DB) Query(text string) (*Result, error) {
+	res, err := db.Exec(text)
+	if err != nil {
+		return nil, err
+	}
+	if res == nil {
+		return nil, fmt.Errorf("filterjoin: statement produced no result set")
+	}
+	return res, nil
+}
+
+// ExecParsed runs an already-parsed SQL statement (tools that parse a
+// script once and dispatch statements themselves use this).
+func (db *DB) ExecParsed(st sql.Statement) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.execStmt(st)
+}
+
+func (db *DB) execStmt(st sql.Statement) (*Result, error) {
+	switch s := st.(type) {
+	case *sql.CreateTable:
+		cols := make([]schema.Column, len(s.Cols))
+		for i, c := range s.Cols {
+			cols[i] = schema.Column{Table: s.Name, Name: c.Name, Type: c.Type}
+		}
+		if db.cat.Has(s.Name) {
+			return nil, fmt.Errorf("filterjoin: relation %q already exists", s.Name)
+		}
+		db.cat.AddTable(storage.NewTable(s.Name, schema.New(cols...)))
+		return nil, nil
+
+	case *sql.CreateIndex:
+		e, err := db.cat.Get(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		if e.Table == nil {
+			return nil, fmt.Errorf("filterjoin: cannot index non-stored relation %q", s.Table)
+		}
+		idx := make([]int, len(s.Cols))
+		for i, cn := range s.Cols {
+			j, err := e.Table.Schema().IndexOf("", cn)
+			if err != nil {
+				return nil, err
+			}
+			idx[i] = j
+		}
+		if _, err := e.Table.CreateIndex(s.Name, idx); err != nil {
+			return nil, err
+		}
+		db.invalidate()
+		return nil, nil
+
+	case *sql.CreateView:
+		if db.cat.Has(s.Name) {
+			return nil, fmt.Errorf("filterjoin: relation %q already exists", s.Name)
+		}
+		b, err := sql.BindSelect(db.cat, s.Select)
+		if err != nil {
+			return nil, err
+		}
+		db.cat.AddView(s.Name, b)
+		return nil, nil
+
+	case *sql.Insert:
+		e, err := db.cat.Get(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		if e.Table == nil {
+			return nil, fmt.Errorf("filterjoin: cannot insert into non-stored relation %q", s.Table)
+		}
+		for _, r := range s.Rows {
+			if err := e.Table.Insert(value.Row(r)); err != nil {
+				return nil, err
+			}
+		}
+		e.InvalidateStats()
+		db.invalidate()
+		return nil, nil
+
+	case *sql.SelectStmt:
+		b, err := sql.BindSelect(db.cat, s)
+		if err != nil {
+			return nil, err
+		}
+		return db.queryBlock(b)
+
+	case *sql.UnionStmt:
+		return db.execUnion(s)
+
+	case *sql.ExplainStmt:
+		return db.execExplain(s)
+	}
+	return nil, fmt.Errorf("filterjoin: unsupported statement %T", st)
+}
+
+// execExplain renders the optimized plan (and, with ANALYZE, measured
+// execution costs) as a one-column result set.
+func (db *DB) execExplain(s *sql.ExplainStmt) (*Result, error) {
+	b, err := sql.BindSelect(db.cat, s.Select)
+	if err != nil {
+		return nil, err
+	}
+	p, err := db.o.OptimizeBlock(b)
+	if err != nil {
+		return nil, err
+	}
+	text := plan.Format(p, db.model)
+	text += fmt.Sprintf("estimated cost: %.2f  (%s)\n", p.Total(db.model), p.Est.String())
+	if s.Analyze {
+		res, err := db.runPlan(p)
+		if err != nil {
+			return nil, err
+		}
+		text += fmt.Sprintf("rows: %d\n", len(res.Rows))
+		text += fmt.Sprintf("measured cost:  %.2f  (%s)\n", db.model.Total(res.Cost), res.Cost.String())
+	}
+	out := &Result{Columns: []string{"plan"}, Plan: p}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		out.Rows = append(out.Rows, value.Row{value.NewString(line)})
+	}
+	return out, nil
+}
+
+// execUnion runs each UNION arm as its own optimized block and combines
+// the results (deduplicating for plain UNION). Arms must agree on output
+// width.
+func (db *DB) execUnion(u *sql.UnionStmt) (*Result, error) {
+	var out *Result
+	seen := map[string]bool{}
+	for i, sel := range u.Selects {
+		b, err := sql.BindSelect(db.cat, sel)
+		if err != nil {
+			return nil, fmt.Errorf("filterjoin: UNION arm %d: %w", i+1, err)
+		}
+		res, err := db.queryBlock(b)
+		if err != nil {
+			return nil, fmt.Errorf("filterjoin: UNION arm %d: %w", i+1, err)
+		}
+		if out == nil {
+			out = &Result{Columns: res.Columns, Plan: res.Plan}
+		} else if len(res.Columns) != len(out.Columns) {
+			return nil, fmt.Errorf("filterjoin: UNION arms have %d vs %d columns",
+				len(out.Columns), len(res.Columns))
+		}
+		out.Cost.Add(res.Cost)
+		for _, r := range res.Rows {
+			if !u.All {
+				k := r.FullKey()
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+			}
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	return out, nil
+}
+
+// invalidate drops caches that depend on data or physical design.
+func (db *DB) invalidate() {
+	db.o.InvalidateCaches()
+	if db.fj != nil {
+		db.fj.ResetCosterCache()
+	}
+}
+
+// InvalidateCaches drops memoized plans and costers; call after bulk
+// loading through the storage API directly.
+func (db *DB) InvalidateCaches() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.invalidate()
+}
+
+// QueryBlock optimizes and executes a programmatically built block.
+func (db *DB) QueryBlock(b *query.Block) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.queryBlock(b)
+}
+
+func (db *DB) queryBlock(b *query.Block) (*Result, error) {
+	p, err := db.o.OptimizeBlock(b)
+	if err != nil {
+		return nil, err
+	}
+	return db.runPlan(p)
+}
+
+// PlanBlock optimizes a block without executing it.
+func (db *DB) PlanBlock(b *query.Block) (*plan.Node, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.o.OptimizeBlock(b)
+}
+
+// Plan parses and optimizes a SELECT without executing it.
+func (db *DB) Plan(text string) (*plan.Node, error) {
+	st, err := sql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*sql.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("filterjoin: Plan requires a SELECT statement")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	b, err := sql.BindSelect(db.cat, sel)
+	if err != nil {
+		return nil, err
+	}
+	return db.o.OptimizeBlock(b)
+}
+
+// Explain returns the optimized plan rendered as text.
+func (db *DB) Explain(text string) (string, error) {
+	p, err := db.Plan(text)
+	if err != nil {
+		return "", err
+	}
+	return plan.Format(p, db.model), nil
+}
+
+// ExplainAnalyze optimizes and executes a SELECT, returning the plan
+// annotated with the optimizer's estimate next to the measured execution
+// counters.
+func (db *DB) ExplainAnalyze(text string) (string, error) {
+	p, err := db.Plan(text)
+	if err != nil {
+		return "", err
+	}
+	res, err := db.RunPlan(p)
+	if err != nil {
+		return "", err
+	}
+	out := plan.Format(p, db.model)
+	out += fmt.Sprintf("rows: %d\n", len(res.Rows))
+	out += fmt.Sprintf("estimated cost: %.2f  (%s)\n", p.Total(db.model), p.Est.String())
+	out += fmt.Sprintf("measured cost:  %.2f  (%s)\n", db.model.Total(res.Cost), res.Cost.String())
+	return out, nil
+}
+
+// RunPlan executes an already-optimized plan and collects its rows and
+// measured cost counters.
+func (db *DB) RunPlan(p *plan.Node) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.runPlan(p)
+}
+
+func (db *DB) runPlan(p *plan.Node) (*Result, error) {
+	ctx := exec.NewContext()
+	op := p.Make()
+	rows, err := exec.Drain(ctx, op)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]string, p.OutSchema.Len())
+	for i := range cols {
+		cols[i] = p.OutSchema.Col(i).QualifiedName()
+	}
+	return &Result{Columns: cols, Rows: rows, Cost: *ctx.Counter, Plan: p}, nil
+}
+
+// LoadCSV bulk-loads CSV data into a stored table (an optional header
+// row matching the column names is skipped). Returns rows loaded.
+func (db *DB) LoadCSV(table string, r io.Reader) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	e, err := db.cat.Get(table)
+	if err != nil {
+		return 0, err
+	}
+	if e.Table == nil {
+		return 0, fmt.Errorf("filterjoin: cannot load into non-stored relation %q", table)
+	}
+	n, err := e.Table.LoadCSV(r)
+	if n > 0 {
+		e.InvalidateStats()
+		db.invalidate()
+	}
+	return n, err
+}
+
+// RegisterTable adds a pre-built storage table (bulk loading path).
+func (db *DB) RegisterTable(t *storage.Table) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.cat.AddTable(t)
+	db.invalidate()
+}
+
+// RegisterRemoteTable adds a table homed at a (simulated) remote site.
+func (db *DB) RegisterRemoteTable(t *storage.Table, site int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.cat.AddRemoteTable(t, site)
+	db.invalidate()
+}
+
+// RegisterRemoteView defines a view whose body executes at a remote site.
+// The definition text must be a SELECT statement.
+func (db *DB) RegisterRemoteView(name, selectText string, site int) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	st, err := sql.Parse(selectText)
+	if err != nil {
+		return err
+	}
+	sel, ok := st.(*sql.SelectStmt)
+	if !ok {
+		return fmt.Errorf("filterjoin: remote view definition must be a SELECT")
+	}
+	b, err := sql.BindSelect(db.cat, sel)
+	if err != nil {
+		return err
+	}
+	db.cat.AddRemoteView(name, b, site)
+	db.invalidate()
+	return nil
+}
+
+// RegisterFunc adds a user-defined (function-backed) relation. argCols
+// are the schema positions acting as arguments; st describes the assumed
+// virtual extension for costing; perCall is the average rows returned
+// per invocation (0 lets the optimizer derive it from st).
+func (db *DB) RegisterFunc(name string, sch *schema.Schema, argCols []int, fn catalog.FuncBody, st *stats.RelStats, perCall float64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.cat.AddFunc(name, sch, argCols, fn, st, perCall)
+	db.invalidate()
+}

@@ -1,0 +1,3 @@
+module filterjoin
+
+go 1.22

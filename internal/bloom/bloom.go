@@ -1,0 +1,150 @@
+// Package bloom implements the Bloom filter used as the lossy filter-set
+// representation in the Filter Join (paper §3.2, §5.1, Fig 6 "LOSSY
+// FILTER" row). A Bloom filter has a fixed size regardless of the filter
+// set cardinality — that fixed size is exactly what makes AvailCost_F
+// constant for the lossy variant — at the price of false positives that
+// let extra inner tuples through.
+package bloom
+
+import (
+	"math"
+
+	"filterjoin/internal/value"
+)
+
+// Filter is a Bloom filter over row keys. Membership queries never return
+// false negatives; the false-positive rate is governed by bits-per-entry
+// and the number of hash functions.
+type Filter struct {
+	bits   []uint64
+	m      uint64 // number of bits
+	k      int    // number of hash functions
+	n      int    // elements added
+	keyIdx []int
+}
+
+// New creates a filter sized for expectedN entries at the given
+// bits-per-entry budget, hashing the key columns keyIdx of added rows.
+// The optimal hash-function count k = bitsPerEntry * ln 2 is used.
+func New(expectedN int, bitsPerEntry float64, keyIdx []int) *Filter {
+	if expectedN < 1 {
+		expectedN = 1
+	}
+	if bitsPerEntry < 1 {
+		bitsPerEntry = 1
+	}
+	m := uint64(math.Ceil(float64(expectedN) * bitsPerEntry))
+	if m < 64 {
+		m = 64
+	}
+	k := int(math.Round(bitsPerEntry * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	idx := make([]int, len(keyIdx))
+	copy(idx, keyIdx)
+	return &Filter{
+		bits:   make([]uint64, (m+63)/64),
+		m:      m,
+		k:      k,
+		keyIdx: idx,
+	}
+}
+
+// KeyIdx returns the key column indexes the filter hashes (do not mutate).
+func (f *Filter) KeyIdx() []int { return f.keyIdx }
+
+// SizeBytes returns the filter's wire size, the quantity AvailCost_F
+// charges when the filter is shipped to a remote site.
+func (f *Filter) SizeBytes() int { return len(f.bits) * 8 }
+
+// Count returns how many entries were added.
+func (f *Filter) Count() int { return f.n }
+
+// K returns the number of hash functions.
+func (f *Filter) K() int { return f.k }
+
+// Add inserts the key of r (projected on the filter's key columns).
+func (f *Filter) Add(r value.Row) {
+	h1, h2 := f.hashes(r, f.keyIdx)
+	for i := 0; i < f.k; i++ {
+		f.setBit((h1 + uint64(i)*h2) % f.m)
+	}
+	f.n++
+}
+
+// AddKey inserts a key row (width == len(KeyIdx())).
+func (f *Filter) AddKey(key value.Row) {
+	all := identity(len(f.keyIdx))
+	h1, h2 := f.hashes(key, all)
+	for i := 0; i < f.k; i++ {
+		f.setBit((h1 + uint64(i)*h2) % f.m)
+	}
+	f.n++
+}
+
+// MayContain tests whether the key of r (projected on keyIdx, which may
+// differ from the build-side indexes as long as it addresses the same
+// logical key) might be in the set.
+func (f *Filter) MayContain(r value.Row, keyIdx []int) bool {
+	h1, h2 := f.hashes(r, keyIdx)
+	for i := 0; i < f.k; i++ {
+		if !f.getBit((h1 + uint64(i)*h2) % f.m) {
+			return false
+		}
+	}
+	return true
+}
+
+// MayContainKey tests a key row directly.
+func (f *Filter) MayContainKey(key value.Row) bool {
+	return f.MayContain(key, identity(len(f.keyIdx)))
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// hashes derives two independent 64-bit hashes for double hashing.
+func (f *Filter) hashes(r value.Row, keyIdx []int) (uint64, uint64) {
+	h1 := r.HashKey(keyIdx)
+	// Second hash: re-mix h1 (splitmix64 finalizer); guaranteed odd so the
+	// double-hash stride is co-prime with power-of-two m remainders often
+	// enough to spread probes.
+	h2 := h1
+	h2 ^= h2 >> 30
+	h2 *= 0xbf58476d1ce4e5b9
+	h2 ^= h2 >> 27
+	h2 *= 0x94d049bb133111eb
+	h2 ^= h2 >> 31
+	h2 |= 1
+	return h1, h2
+}
+
+func (f *Filter) setBit(i uint64) { f.bits[i/64] |= 1 << (i % 64) }
+func (f *Filter) getBit(i uint64) bool {
+	return f.bits[i/64]&(1<<(i%64)) != 0
+}
+
+// EstimatedFPR returns the theoretical false-positive rate for the current
+// load: (1 - e^{-kn/m})^k.
+func (f *Filter) EstimatedFPR() float64 {
+	if f.n == 0 {
+		return 0
+	}
+	return math.Pow(1-math.Exp(-float64(f.k)*float64(f.n)/float64(f.m)), float64(f.k))
+}
+
+// TheoreticalFPR returns the design false-positive rate for n entries in a
+// filter with bitsPerEntry bits per entry and optimal k.
+func TheoreticalFPR(bitsPerEntry float64) float64 {
+	k := math.Round(bitsPerEntry * math.Ln2)
+	if k < 1 {
+		k = 1
+	}
+	return math.Pow(1-math.Exp(-k/bitsPerEntry), k)
+}

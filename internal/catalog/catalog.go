@@ -1,0 +1,211 @@
+// Package catalog names and describes relations. Its central abstraction
+// is the paper's *virtual relation*: anything that can appear in a FROM
+// list but is not a locally stored base table — a view (table
+// expression), a remote relation homed at another site, or a relation
+// produced by a user-defined function. The optimizer treats all of them
+// uniformly as Filter Join candidates.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+
+	"filterjoin/internal/query"
+	"filterjoin/internal/schema"
+	"filterjoin/internal/stats"
+	"filterjoin/internal/storage"
+	"filterjoin/internal/value"
+)
+
+// Kind classifies a catalog entry.
+type Kind uint8
+
+// The relation kinds.
+const (
+	KindBase   Kind = iota // locally stored table
+	KindView               // defined by a query block
+	KindRemote             // stored table homed at a remote site
+	KindFunc               // produced by a user-defined function
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindBase:
+		return "base"
+	case KindView:
+		return "view"
+	case KindRemote:
+		return "remote"
+	case KindFunc:
+		return "func"
+	default:
+		return "?"
+	}
+}
+
+// FuncBody is the implementation of a user-defined relation: invoked with
+// one binding of the argument columns, it returns the matching rows
+// (complete rows of the relation's schema, argument columns included).
+type FuncBody func(args value.Row) ([]value.Row, error)
+
+// Entry describes one named relation.
+type Entry struct {
+	Name string
+	Kind Kind
+
+	// Base and Remote relations.
+	Table *storage.Table
+	Site  int // 0 = local; >0 identifies the remote site (Remote only)
+
+	// View relations.
+	ViewDef *query.Block
+
+	// Func relations.
+	Fn        FuncBody
+	FnSchema  *schema.Schema // full output schema, argument columns included
+	ArgCols   []int          // schema positions that are input arguments
+	FnStats   *stats.RelStats
+	FnPerCall float64 // average rows returned per invocation (estimate)
+
+	tableStats *stats.RelStats
+	viewSchema *schema.Schema
+}
+
+// Virtual reports whether the relation is a paper-sense virtual relation.
+func (e *Entry) Virtual() bool { return e.Kind != KindBase }
+
+// Schema returns the relation's schema.
+func (e *Entry) Schema(c *Catalog) (*schema.Schema, error) {
+	switch e.Kind {
+	case KindBase, KindRemote:
+		return e.Table.Schema(), nil
+	case KindView:
+		if e.viewSchema == nil {
+			s, err := e.ViewDef.OutputSchema(c, e.Name)
+			if err != nil {
+				return nil, err
+			}
+			e.viewSchema = s
+		}
+		return e.viewSchema, nil
+	case KindFunc:
+		return e.FnSchema, nil
+	}
+	return nil, fmt.Errorf("catalog: unknown kind for %q", e.Name)
+}
+
+// Stats returns collected statistics for stored (base/remote) relations,
+// collecting them lazily. Views and functions have no stored stats here;
+// the optimizer derives them (views) or uses FnStats (functions).
+func (e *Entry) Stats() *stats.RelStats {
+	switch e.Kind {
+	case KindBase, KindRemote:
+		if e.tableStats == nil {
+			e.tableStats = stats.Collect(e.Table)
+		}
+		return e.tableStats
+	case KindFunc:
+		return e.FnStats
+	default:
+		return nil
+	}
+}
+
+// InvalidateStats drops cached statistics (after bulk loads).
+func (e *Entry) InvalidateStats() { e.tableStats = nil }
+
+// Catalog is a name → relation map.
+type Catalog struct {
+	entries map[string]*Entry
+}
+
+// New creates an empty catalog.
+func New() *Catalog {
+	return &Catalog{entries: map[string]*Entry{}}
+}
+
+// AddTable registers a local base table.
+func (c *Catalog) AddTable(t *storage.Table) *Entry {
+	e := &Entry{Name: t.Name(), Kind: KindBase, Table: t}
+	c.entries[t.Name()] = e
+	return e
+}
+
+// AddRemoteTable registers a table homed at the given site (>0).
+func (c *Catalog) AddRemoteTable(t *storage.Table, site int) *Entry {
+	e := &Entry{Name: t.Name(), Kind: KindRemote, Table: t, Site: site}
+	c.entries[t.Name()] = e
+	return e
+}
+
+// AddView registers a view defined by a query block.
+func (c *Catalog) AddView(name string, def *query.Block) *Entry {
+	e := &Entry{Name: name, Kind: KindView, ViewDef: def}
+	c.entries[name] = e
+	return e
+}
+
+// AddRemoteView registers a view whose body executes at a remote site:
+// the virtual-relation case the paper highlights for heterogeneous
+// databases. Site must be > 0.
+func (c *Catalog) AddRemoteView(name string, def *query.Block, site int) *Entry {
+	e := &Entry{Name: name, Kind: KindView, ViewDef: def, Site: site}
+	c.entries[name] = e
+	return e
+}
+
+// AddFunc registers a user-defined relation. argCols are the schema
+// positions that act as input arguments; stats describe the relation's
+// assumed value distribution for costing; perCall is the average number
+// of rows one invocation returns.
+func (c *Catalog) AddFunc(name string, sch *schema.Schema, argCols []int, fn FuncBody, st *stats.RelStats, perCall float64) *Entry {
+	e := &Entry{
+		Name:      name,
+		Kind:      KindFunc,
+		Fn:        fn,
+		FnSchema:  sch,
+		ArgCols:   append([]int(nil), argCols...),
+		FnStats:   st,
+		FnPerCall: perCall,
+	}
+	c.entries[name] = e
+	return e
+}
+
+// Get looks a relation up by name.
+func (c *Catalog) Get(name string) (*Entry, error) {
+	e, ok := c.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown relation %q", name)
+	}
+	return e, nil
+}
+
+// Has reports whether name is registered.
+func (c *Catalog) Has(name string) bool {
+	_, ok := c.entries[name]
+	return ok
+}
+
+// Drop removes a relation.
+func (c *Catalog) Drop(name string) { delete(c.entries, name) }
+
+// Names lists registered relation names, sorted.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.entries))
+	for n := range c.entries {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RelationSchema implements query.SchemaResolver.
+func (c *Catalog) RelationSchema(name string) (*schema.Schema, error) {
+	e, err := c.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return e.Schema(c)
+}

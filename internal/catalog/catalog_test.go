@@ -1,0 +1,164 @@
+package catalog
+
+import (
+	"testing"
+
+	"filterjoin/internal/expr"
+	"filterjoin/internal/query"
+	"filterjoin/internal/schema"
+	"filterjoin/internal/stats"
+	"filterjoin/internal/storage"
+	"filterjoin/internal/value"
+)
+
+func empTable() *storage.Table {
+	s := schema.New(
+		schema.Column{Table: "Emp", Name: "did", Type: value.KindInt},
+		schema.Column{Table: "Emp", Name: "sal", Type: value.KindFloat},
+	)
+	t := storage.NewTable("Emp", s)
+	for i := 0; i < 10; i++ {
+		t.MustInsert(value.NewInt(int64(i%3)), value.NewFloat(float64(100*i)))
+	}
+	return t
+}
+
+func TestAddAndGetTable(t *testing.T) {
+	c := New()
+	e := c.AddTable(empTable())
+	if e.Kind != KindBase || e.Virtual() {
+		t.Error("base tables are not virtual")
+	}
+	got, err := c.Get("Emp")
+	if err != nil || got != e {
+		t.Errorf("Get: %v", err)
+	}
+	if !c.Has("Emp") || c.Has("Nope") {
+		t.Error("Has")
+	}
+	if _, err := c.Get("Nope"); err == nil {
+		t.Error("unknown relation must error")
+	}
+}
+
+func TestRemoteTableIsVirtual(t *testing.T) {
+	c := New()
+	e := c.AddRemoteTable(empTable(), 2)
+	if e.Kind != KindRemote || !e.Virtual() || e.Site != 2 {
+		t.Errorf("remote entry = %+v", e)
+	}
+	s, err := e.Schema(c)
+	if err != nil || s.Len() != 2 {
+		t.Error("remote schema")
+	}
+}
+
+func TestViewSchemaDerivedAndCached(t *testing.T) {
+	c := New()
+	c.AddTable(empTable())
+	v := c.AddView("V", &query.Block{
+		Rels:    []query.RelRef{{Name: "Emp"}},
+		GroupBy: []int{0},
+		Aggs:    []expr.AggSpec{{Kind: expr.AggAvg, Arg: expr.NewCol(1, "Emp.sal"), Name: "avgsal"}},
+	})
+	if !v.Virtual() || v.Kind != KindView {
+		t.Error("views are virtual")
+	}
+	s1, err := v.Schema(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Len() != 2 || s1.Col(0).Table != "V" || s1.Col(1).Name != "avgsal" {
+		t.Errorf("view schema = %s", s1)
+	}
+	s2, _ := v.Schema(c)
+	if s1 != s2 {
+		t.Error("view schema should be cached")
+	}
+	// The catalog implements query.SchemaResolver.
+	var _ query.SchemaResolver = c
+	rs, err := c.RelationSchema("V")
+	if err != nil || rs.Len() != 2 {
+		t.Error("RelationSchema")
+	}
+}
+
+func TestRemoteView(t *testing.T) {
+	c := New()
+	c.AddTable(empTable())
+	v := c.AddRemoteView("RV", &query.Block{
+		Rels: []query.RelRef{{Name: "Emp"}},
+	}, 3)
+	if v.Kind != KindView || v.Site != 3 {
+		t.Errorf("remote view entry = %+v", v)
+	}
+}
+
+func TestStatsLazyAndInvalidate(t *testing.T) {
+	c := New()
+	tb := empTable()
+	e := c.AddTable(tb)
+	s1 := e.Stats()
+	if s1 == nil || s1.Rows != 10 {
+		t.Fatalf("stats = %+v", s1)
+	}
+	if e.Stats() != s1 {
+		t.Error("stats should be cached")
+	}
+	tb.MustInsert(value.NewInt(9), value.NewFloat(1))
+	e.InvalidateStats()
+	if e.Stats().Rows != 11 {
+		t.Error("invalidation must refresh stats")
+	}
+}
+
+func TestFuncEntry(t *testing.T) {
+	c := New()
+	s := schema.New(
+		schema.Column{Table: "F", Name: "k", Type: value.KindInt},
+		schema.Column{Table: "F", Name: "v", Type: value.KindInt},
+	)
+	st := &stats.RelStats{Rows: 100, Cols: []stats.ColStats{{Distinct: 10}, {Distinct: 100}}}
+	fn := func(args value.Row) ([]value.Row, error) {
+		return []value.Row{{args[0], value.NewInt(1)}}, nil
+	}
+	e := c.AddFunc("F", s, []int{0}, fn, st, 10)
+	if !e.Virtual() || e.Kind != KindFunc {
+		t.Error("funcs are virtual")
+	}
+	if e.Stats() != st {
+		t.Error("func stats passthrough")
+	}
+	es, err := e.Schema(c)
+	if err != nil || es != s {
+		t.Error("func schema passthrough")
+	}
+	rows, err := e.Fn(value.Row{value.NewInt(7)})
+	if err != nil || len(rows) != 1 || rows[0][0].Int() != 7 {
+		t.Error("func invocation")
+	}
+}
+
+func TestDropAndNames(t *testing.T) {
+	c := New()
+	c.AddTable(empTable())
+	c.AddView("B", &query.Block{Rels: []query.RelRef{{Name: "Emp"}}})
+	names := c.Names()
+	if len(names) != 2 || names[0] != "B" || names[1] != "Emp" {
+		t.Errorf("Names = %v", names)
+	}
+	c.Drop("B")
+	if c.Has("B") {
+		t.Error("Drop failed")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindBase: "base", KindView: "view", KindRemote: "remote", KindFunc: "func",
+	} {
+		if k.String() != want {
+			t.Errorf("%v renders %q", k, k.String())
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package core implements the paper's primary contribution: the Filter
+// Join as a join method inside a cost-based optimizer.
+//
+// A Filter Join of outer P with virtual inner R_k (Definition 2.1):
+//
+//  1. compute the production set P (Limitations 1+2: P is exactly the
+//     outer subplan),
+//  2. distinct-project P onto (a subset of) the join attributes to form
+//     the filter set F (Limitation 3: a small constant number of filter
+//     set variants — all attributes exact, all attributes as a Bloom
+//     filter, single-attribute subsets),
+//  3. restrict R_k by F (for views this is magic-sets rewriting: F joins
+//     into the view body; for remote relations it is a semi-join; for
+//     stored relations a local semi-join; for function relations the
+//     distinct consecutive invocation),
+//  4. join the restricted R_k' back with P.
+//
+// Costing follows Table 1 of the paper exactly; the seven components are
+// kept separately so experiments can print the breakdown. Assumption 1
+// (O(1) cost/cardinality estimation for the restricted inner) is realized
+// by the parametric view coster in coster.go: a bounded number of nested
+// optimizer invocations at sample filter selectivities, a straight-line
+// fit for result cardinality (Fig 4), and interpolation between cost
+// equivalence classes (Fig 5), all cached per (view, attributes).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"filterjoin/internal/cost"
+)
+
+// Components is the Table 1 cost breakdown of one Filter Join candidate.
+type Components struct {
+	JoinCostP       cost.Estimate // cost of producing the production set P (the outer subplan)
+	ProductionCostP cost.Estimate // materializing P (or recomputing it) for its second use
+	ProjCostF       cost.Estimate // distinct projection of P onto the filter attributes
+	AvailCostF      cost.Estimate // making F available to R_k (shipping, Bloom build, temp table)
+	FilterCostRk    cost.Estimate // generating R_k restricted by F
+	AvailCostRkP    cost.Estimate // making R_k' available for the final join (ship back / materialize)
+	FinalJoinCost   cost.Estimate // the final join of P with R_k'
+}
+
+// Total sums the seven components.
+func (c Components) Total() cost.Estimate {
+	return c.JoinCostP.
+		Plus(c.ProductionCostP).
+		Plus(c.ProjCostF).
+		Plus(c.AvailCostF).
+		Plus(c.FilterCostRk).
+		Plus(c.AvailCostRkP).
+		Plus(c.FinalJoinCost)
+}
+
+// Names returns the component labels in Table 1 order.
+func (Components) Names() []string {
+	return []string{
+		"JoinCost_P", "ProductionCost_P", "ProjCost_F", "AvailCost_F",
+		"FilterCost_Rk", "AvailCost_Rk'", "FinalJoinCost",
+	}
+}
+
+// Values returns the component estimates in Table 1 order.
+func (c Components) Values() []cost.Estimate {
+	return []cost.Estimate{
+		c.JoinCostP, c.ProductionCostP, c.ProjCostF, c.AvailCostF,
+		c.FilterCostRk, c.AvailCostRkP, c.FinalJoinCost,
+	}
+}
+
+// FilterRepr identifies how the filter set is represented.
+type FilterRepr uint8
+
+// Filter set representations (Limitation 3 variants).
+const (
+	ReprExact FilterRepr = iota // distinct key set (the classical magic set)
+	ReprBloom                   // fixed-size lossy Bloom filter
+)
+
+// String names the representation.
+func (r FilterRepr) String() string {
+	if r == ReprBloom {
+		return "bloom"
+	}
+	return "exact"
+}
+
+// InnerAccess identifies how the restricted inner is produced.
+type InnerAccess uint8
+
+// Inner restriction strategies.
+const (
+	AccessScanFilter InnerAccess = iota // scan the inner, test membership
+	AccessIndexProbe                    // drive index probes from F's keys
+	AccessMagicView                     // magic-rewritten view plan (F joined into the body)
+	AccessRemote                        // ship F, restrict remotely, ship R_k' back
+	AccessFuncCalls                     // consecutive function invocation per distinct binding
+)
+
+// String names the access strategy.
+func (a InnerAccess) String() string {
+	switch a {
+	case AccessScanFilter:
+		return "scan+filter"
+	case AccessIndexProbe:
+		return "index-probe"
+	case AccessMagicView:
+		return "magic-view"
+	case AccessRemote:
+		return "remote-semijoin"
+	case AccessFuncCalls:
+		return "consecutive-calls"
+	default:
+		return "?"
+	}
+}
+
+// Choice records every decision one Filter Join candidate embodies; it is
+// attached to the plan node as Extra so experiments and the magic-SQL
+// renderer can inspect it.
+type Choice struct {
+	InnerName  string
+	InnerIndex int // relation ordinal in the block
+
+	// All equi pairs between outer and inner (block layout columns);
+	// the final join always uses all of them.
+	AllOuterCols, AllInnerCols []int
+
+	// The subset actually used for the filter set (SIPS attribute choice).
+	FilterOuterCols, FilterInnerCols []int
+
+	Repr        FilterRepr
+	BloomBits   float64 // bits per entry when Repr == ReprBloom
+	Access      InnerAccess
+	Materialize bool // materialize P (true) or recompute it (false)
+
+	// PrefixProduction is set when the production set is a proper prefix
+	// of the outer (Limitation 2 relaxed); ProductionRels identifies it.
+	PrefixProduction bool
+	ProductionRels   []int
+
+	FilterCard   float64 // estimated |F|
+	FilterSel    float64 // estimated fraction of the inner's bindings F retains
+	RestrictRows float64 // estimated |R_k'|
+
+	Components Components
+}
+
+// String summarizes the choice for plan display.
+func (ch *Choice) String() string {
+	attrs := make([]string, len(ch.FilterOuterCols))
+	for i := range attrs {
+		attrs[i] = fmt.Sprintf("#%d", ch.FilterInnerCols[i])
+	}
+	mat := "recompute-P"
+	if ch.Materialize {
+		mat = "materialize-P"
+	}
+	if ch.PrefixProduction {
+		mat = fmt.Sprintf("prefix-P%v", ch.ProductionRels)
+	}
+	return fmt.Sprintf("%s filter on {%s} via %s, %s, |F|≈%.0f sel≈%.3f",
+		ch.Repr, strings.Join(attrs, ","), ch.Access, mat, ch.FilterCard, ch.FilterSel)
+}

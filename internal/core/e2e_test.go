@@ -1,0 +1,266 @@
+package core_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"filterjoin/internal/catalog"
+	"filterjoin/internal/core"
+	"filterjoin/internal/cost"
+	"filterjoin/internal/exec"
+	"filterjoin/internal/expr"
+	"filterjoin/internal/opt"
+	"filterjoin/internal/plan"
+	"filterjoin/internal/query"
+	"filterjoin/internal/schema"
+	"filterjoin/internal/storage"
+	"filterjoin/internal/value"
+)
+
+// fig1DB builds the paper's Fig 1 universe: Emp, Dept, and the
+// DepAvgSal view, with nEmp employees spread over nDept departments.
+// youngFrac of employees are young (<30) and bigFrac of departments have
+// budget > 100000; both are deterministic in the row id.
+func fig1DB(t testing.TB, nEmp, nDept int, youngFrac, bigFrac float64) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+
+	empSchema := schema.New(
+		schema.Column{Table: "Emp", Name: "eid", Type: value.KindInt},
+		schema.Column{Table: "Emp", Name: "did", Type: value.KindInt},
+		schema.Column{Table: "Emp", Name: "sal", Type: value.KindFloat},
+		schema.Column{Table: "Emp", Name: "age", Type: value.KindInt},
+	)
+	emp := storage.NewTable("Emp", empSchema)
+	for i := 0; i < nEmp; i++ {
+		age := int64(40)
+		if float64(i%100) < youngFrac*100 {
+			age = 25
+		}
+		// Clustered by did: employees of one department are contiguous.
+		emp.MustInsert(
+			value.NewInt(int64(i)),
+			value.NewInt(int64(i*nDept/nEmp)),
+			value.NewFloat(float64(1000+(i*37)%5000)),
+			value.NewInt(age),
+		)
+	}
+	if _, err := emp.CreateIndex("emp_did", []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	cat.AddTable(emp)
+
+	deptSchema := schema.New(
+		schema.Column{Table: "Dept", Name: "did", Type: value.KindInt},
+		schema.Column{Table: "Dept", Name: "budget", Type: value.KindInt},
+	)
+	dept := storage.NewTable("Dept", deptSchema)
+	for d := 0; d < nDept; d++ {
+		budget := int64(50000)
+		if float64(d%100) < bigFrac*100 {
+			budget = 200000
+		}
+		dept.MustInsert(value.NewInt(int64(d)), value.NewInt(budget))
+	}
+	if _, err := dept.CreateIndex("dept_did", []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	cat.AddTable(dept)
+
+	// CREATE VIEW DepAvgSal AS SELECT did, AVG(sal) avgsal FROM Emp GROUP BY did
+	cat.AddView("DepAvgSal", &query.Block{
+		Rels:    []query.RelRef{{Name: "Emp"}},
+		GroupBy: []int{1},
+		Aggs:    []expr.AggSpec{{Kind: expr.AggAvg, Arg: expr.NewCol(2, "Emp.sal"), Name: "avgsal"}},
+	})
+	return cat
+}
+
+// fig1Query is the paper's motivating query:
+//
+//	SELECT E.did, E.sal, V.avgsal
+//	FROM Emp E, Dept D, DepAvgSal V
+//	WHERE E.did = D.did AND E.did = V.did AND E.sal > V.avgsal
+//	  AND E.age < 30 AND D.budget > 100000
+//
+// Block layout: E:[0..3] D:[4,5] V:[6,7].
+func fig1Query() *query.Block {
+	return &query.Block{
+		Rels: []query.RelRef{
+			{Name: "Emp", Alias: "E"},
+			{Name: "Dept", Alias: "D"},
+			{Name: "DepAvgSal", Alias: "V"},
+		},
+		Preds: []expr.Expr{
+			expr.Eq(expr.NewCol(1, "E.did"), expr.NewCol(4, "D.did")),
+			expr.Eq(expr.NewCol(1, "E.did"), expr.NewCol(6, "V.did")),
+			expr.NewCmp(expr.GT, expr.NewCol(2, "E.sal"), expr.NewCol(7, "V.avgsal")),
+			expr.NewCmp(expr.LT, expr.NewCol(3, "E.age"), expr.Int(30)),
+			expr.NewCmp(expr.GT, expr.NewCol(5, "D.budget"), expr.Int(100000)),
+		},
+		Proj: []query.Output{
+			{Expr: expr.NewCol(1, "E.did"), Name: "did"},
+			{Expr: expr.NewCol(2, "E.sal"), Name: "sal"},
+			{Expr: expr.NewCol(7, "V.avgsal"), Name: "avgsal"},
+		},
+	}
+}
+
+// referenceFig1 computes the expected Fig 1 result straight from the
+// base tables, bypassing the engine entirely.
+func referenceFig1(cat *catalog.Catalog) ([]string, error) {
+	empE, err := cat.Get("Emp")
+	if err != nil {
+		return nil, err
+	}
+	deptE, err := cat.Get("Dept")
+	if err != nil {
+		return nil, err
+	}
+	avg := map[int64][2]float64{}
+	for _, r := range empE.Table.Rows() {
+		did := r[1].Int()
+		a := avg[did]
+		a[0] += r[2].Float()
+		a[1]++
+		avg[did] = a
+	}
+	big := map[int64]bool{}
+	for _, r := range deptE.Table.Rows() {
+		if r[1].Int() > 100000 {
+			big[r[0].Int()] = true
+		}
+	}
+	var out []string
+	for _, r := range empE.Table.Rows() {
+		did := r[1].Int()
+		a := avg[did]
+		mean := a[0] / a[1]
+		if r[3].Int() < 30 && big[did] && r[2].Float() > mean {
+			out = append(out, fmt.Sprintf("%d|%g|%g", did, r[2].Float(), mean))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func runPlan(t testing.TB, n interface {
+	Make() exec.Operator
+}) ([]string, cost.Counter) {
+	t.Helper()
+	ctx := exec.NewContext()
+	rows, err := exec.Drain(ctx, n.Make())
+	if err != nil {
+		t.Fatalf("executing plan: %v", err)
+	}
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		s := ""
+		for j, v := range r {
+			if j > 0 {
+				s += "|"
+			}
+			s += v.String()
+		}
+		out[i] = s
+	}
+	sort.Strings(out)
+	return out, *ctx.Counter
+}
+
+type planRunner struct{ n func() exec.Operator }
+
+func (p planRunner) Make() exec.Operator { return p.n() }
+
+func TestFig1EndToEnd(t *testing.T) {
+	cat := fig1DB(t, 2000, 100, 0.3, 0.2)
+	ref, err := referenceFig1(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) == 0 {
+		t.Fatal("reference result is empty; workload parameters are wrong")
+	}
+
+	model := cost.DefaultModel()
+
+	// Optimizer without the Filter Join.
+	oPlain := opt.New(cat, model)
+	pPlain, err := oPlain.OptimizeBlock(fig1Query())
+	if err != nil {
+		t.Fatalf("plain optimize: %v", err)
+	}
+	gotPlain, _ := runPlan(t, planRunner{pPlain.Make})
+	if !equalStrings(gotPlain, ref) {
+		t.Fatalf("plain plan result mismatch: got %d rows, want %d\nfirst got: %v\nfirst want: %v",
+			len(gotPlain), len(ref), head(gotPlain), head(ref))
+	}
+
+	// Optimizer with the Filter Join registered.
+	oFJ := opt.New(cat, model)
+	oFJ.Register(core.NewMethod(core.Options{}))
+	pFJ, err := oFJ.OptimizeBlock(fig1Query())
+	if err != nil {
+		t.Fatalf("filterjoin optimize: %v", err)
+	}
+	gotFJ, _ := runPlan(t, planRunner{pFJ.Make})
+	if !equalStrings(gotFJ, ref) {
+		t.Fatalf("filterjoin plan result mismatch: got %d rows, want %d\nfirst got: %v\nfirst want: %v",
+			len(gotFJ), len(ref), head(gotFJ), head(ref))
+	}
+}
+
+// TestFilterJoinChosenWhenSelective checks the headline behaviour: with
+// few qualifying departments the optimizer should pick a Filter Join for
+// the view, and its measured cost should beat the plain plan's.
+func TestFilterJoinChosenWhenSelective(t *testing.T) {
+	cat := fig1DB(t, 20000, 400, 0.2, 0.03)
+	model := cost.DefaultModel()
+
+	oPlain := opt.New(cat, model)
+	oPlain.Disabled["filterjoin"] = true
+	pPlain, err := oPlain.OptimizeBlock(fig1Query())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	oFJ := opt.New(cat, model)
+	oFJ.Register(core.NewMethod(core.Options{}))
+	pFJ, err := oFJ.OptimizeBlock(fig1Query())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pFJ.Find("FilterJoin") == nil {
+		t.Fatalf("expected a FilterJoin in the plan; got:\n%s", plan.Format(pFJ, model))
+	}
+
+	refPlain, cPlain := runPlan(t, planRunner{pPlain.Make})
+	refFJ, cFJ := runPlan(t, planRunner{pFJ.Make})
+	if !equalStrings(refPlain, refFJ) {
+		t.Fatalf("plans disagree: %d vs %d rows", len(refPlain), len(refFJ))
+	}
+	if model.Total(cFJ) >= model.Total(cPlain) {
+		t.Fatalf("filter join should be cheaper on selective workload: fj=%.1f plain=%.1f",
+			model.Total(cFJ), model.Total(cPlain))
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func head(s []string) []string {
+	if len(s) > 3 {
+		return s[:3]
+	}
+	return s
+}

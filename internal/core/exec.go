@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+
+	"filterjoin/internal/catalog"
+	"filterjoin/internal/dist"
+	"filterjoin/internal/exec"
+	"filterjoin/internal/expr"
+	"filterjoin/internal/opt"
+	"filterjoin/internal/schema"
+	"filterjoin/internal/storage"
+	"filterjoin/internal/udr"
+	"filterjoin/internal/value"
+)
+
+// fjExecSpec carries everything the runtime Filter Join operator needs,
+// captured at plan time.
+type fjExecSpec struct {
+	method *Method
+	o      *opt.Optimizer
+	entry  *catalog.Entry
+	choice *Choice
+
+	outerMake func() exec.Operator
+	// filterMake, when non-nil, produces the prefix production set the
+	// filter is built from (Limitation 2 relaxed); the full outer still
+	// feeds the final join.
+	filterMake func() exec.Operator
+	alias      string
+
+	outerFilterPos []int // filter attr positions in the outer's output
+	outerAllPos    []int // all equi attr positions in the outer's output
+	innerFilterLoc []int // filter attr positions within the inner relation
+	innerAllLoc    []int // all equi attr positions within the inner relation
+
+	residual  expr.Expr // bound against outer‖inner layout
+	localPred expr.Expr // inner-relation-local predicate
+
+	index  *storage.HashIndex // for AccessIndexProbe
+	ixPerm []int              // index col order -> position in filter key row
+
+	bodyCols []int          // view body columns receiving bindings
+	fSchema  *schema.Schema // filter relation schema (views)
+
+	keyBytes    int
+	filterBytes float64
+}
+
+func (s *fjExecSpec) make() exec.Operator {
+	return &filterJoinOp{spec: s}
+}
+
+// filterJoinOp is the runtime Filter Join. Definition 2.1's four steps
+// all happen in Open: the production set P is computed (materialized or
+// set up for recomputation), the distinct filter set F is built, the
+// restricted inner R_k' is composed — for views this performs the magic
+// rewriting and plans the restricted view with the *actual* filter
+// cardinality, the deferred planning §4.2 describes — and the final hash
+// join of P with R_k' is opened. Next/Close delegate to the final join.
+type filterJoinOp struct {
+	spec  *fjExecSpec
+	final exec.Operator
+	// Observability for experiments.
+	FilterSize   int
+	RestrictSeen int
+}
+
+// Schema implements exec.Operator.
+func (f *filterJoinOp) Schema() *schema.Schema {
+	s := f.spec
+	var innerSch *schema.Schema
+	switch s.entry.Kind {
+	case catalog.KindFunc:
+		innerSch = s.entry.FnSchema
+	case catalog.KindView:
+		vs, err := s.entry.Schema(s.o.Cat)
+		if err != nil {
+			innerSch = schema.New()
+		} else {
+			innerSch = vs
+		}
+	default:
+		innerSch = s.entry.Table.Schema()
+	}
+	if s.alias != "" {
+		innerSch = innerSch.Rename(s.alias)
+	}
+	// Outer schema is only known via the outer operator; build one
+	// transiently. Make() is cheap (no execution happens).
+	return s.outerMake().Schema().Concat(innerSch)
+}
+
+// Open implements exec.Operator.
+func (f *filterJoinOp) Open(ctx *exec.Context) error {
+	s := f.spec
+	ch := s.choice
+
+	// Step 1: production set P.
+	var pFilter, pJoin exec.Operator
+	switch {
+	case s.filterMake != nil:
+		// Prefix production set: the filter comes from a cheaper subplan;
+		// the full outer streams once into the final join.
+		pFilter, pJoin = s.filterMake(), s.outerMake()
+	case ch.Materialize:
+		mat := exec.NewMaterialize(s.outerMake(), s.o.TempName("P"))
+		pFilter, pJoin = mat, mat
+	default:
+		pFilter, pJoin = s.outerMake(), s.outerMake()
+	}
+
+	// Step 2: the distinct filter set F.
+	keys, err := exec.BuildKeySet(ctx, pFilter, s.outerFilterPos)
+	if err != nil {
+		return err
+	}
+	f.FilterSize = keys.Len()
+
+	// Step 3: the restricted inner R_k'.
+	restricted, err := f.buildRestricted(ctx, keys)
+	if err != nil {
+		return err
+	}
+
+	// Step 4: final join of P with R_k' on all join attributes.
+	f.final = exec.NewHashJoinProbeFirst(restricted, pJoin, s.innerAllLoc, s.outerAllPos, s.residual)
+	return f.final.Open(ctx)
+}
+
+// buildRestricted composes the restricted-inner operator per the access
+// strategy recorded in the Choice.
+func (f *filterJoinOp) buildRestricted(ctx *exec.Context, keys *exec.KeySet) (exec.Operator, error) {
+	s := f.spec
+	ch := s.choice
+	switch s.entry.Kind {
+	case catalog.KindBase, catalog.KindRemote:
+		op, err := f.restrictStored(ctx, keys)
+		if err != nil {
+			return nil, err
+		}
+		if s.entry.Kind == catalog.KindRemote {
+			// Ship F over, ship R_k' back.
+			ctx.Counter.NetMsgs++
+			ctx.Counter.NetBytes += int64(ch.filterShipBytes(keys, s))
+			op = dist.NewShip(op, s.entry.Table.Schema().RowWidth())
+		}
+		return op, nil
+
+	case catalog.KindView:
+		return f.restrictView(ctx, keys)
+
+	case catalog.KindFunc:
+		var op exec.Operator = udr.NewConsecutiveScan(s.entry, keys, s.alias)
+		if s.localPred != nil {
+			op = exec.NewSelect(op, s.localPred)
+		}
+		return op, nil
+	}
+	return nil, fmt.Errorf("core: filter join over unsupported relation kind %s", s.entry.Kind)
+}
+
+// filterShipBytes returns the wire size of the filter set representation.
+func (ch *Choice) filterShipBytes(keys *exec.KeySet, s *fjExecSpec) int {
+	if ch.Repr == ReprBloom {
+		return int(float64(keys.Len())*ch.BloomBits/8) + 64
+	}
+	return keys.Len() * s.keyBytes
+}
+
+// restrictStored restricts a stored (local or remote) table by the filter
+// set via membership scanning, Bloom scanning, or index probes.
+func (f *filterJoinOp) restrictStored(ctx *exec.Context, keys *exec.KeySet) (exec.Operator, error) {
+	s := f.spec
+	ch := s.choice
+	t := s.entry.Table
+
+	if ch.Access == AccessIndexProbe && s.index != nil {
+		// Drive index probes from the distinct keys, emitting inner rows.
+		ks := exec.NewKeySetScan(keys, keySchema(s, t))
+		// Key positions within the key row aligned to the index columns.
+		outerKeyIdx := make([]int, len(s.ixPerm))
+		for i, p := range s.ixPerm {
+			if p < 0 {
+				return nil, fmt.Errorf("core: index permutation incomplete for %s", t.Name())
+			}
+			outerKeyIdx[i] = p
+		}
+		probe := exec.NewIndexNLJoin(ks, t, s.index, outerKeyIdx, nil, s.alias)
+		// Drop the key columns, keeping the inner row only.
+		innerIdx := make([]int, t.Schema().Len())
+		for i := range innerIdx {
+			innerIdx[i] = len(s.innerFilterLoc) + i
+		}
+		var op exec.Operator = exec.NewColumnProject(probe, innerIdx)
+		if s.localPred != nil {
+			op = exec.NewSelect(op, s.localPred)
+		}
+		return op, nil
+	}
+
+	var op exec.Operator = exec.NewTableScan(t, s.alias)
+	if ch.Repr == ReprBloom {
+		bf := keys.ToBloom(ch.BloomBits, s.innerFilterLoc)
+		ctx.Counter.CPUTuples += int64(keys.Len())
+		op = exec.NewBloomFilterScan(op, bf, s.innerFilterLoc)
+	} else {
+		op = exec.NewKeySetFilter(op, keys, s.innerFilterLoc)
+	}
+	if s.localPred != nil {
+		op = exec.NewSelect(op, s.localPred)
+	}
+	return op, nil
+}
+
+func keySchema(s *fjExecSpec, t *storage.Table) *schema.Schema {
+	cols := make([]schema.Column, len(s.innerFilterLoc))
+	for i, c := range s.innerFilterLoc {
+		cols[i] = schema.Column{Name: fmt.Sprintf("k%d", i), Type: t.Schema().Col(c).Type}
+	}
+	return schema.New(cols...)
+}
+
+// restrictView performs the magic rewriting at execution time with the
+// actual filter set: F is written into a transient table, the rewritten
+// block (view body ⋈ F) is optimized with F's true cardinality, and the
+// resulting plan is instantiated. This is the paper's §4.2 deferred
+// planning: cost estimation during join enumeration used the parametric
+// coster; the concrete sub-plan is generated only once, here.
+func (f *filterJoinOp) restrictView(ctx *exec.Context, keys *exec.KeySet) (exec.Operator, error) {
+	s := f.spec
+	o := s.o
+	fName := o.TempName("magic")
+	rows := make([]value.Row, len(keys.Rows()))
+	copy(rows, keys.Rows())
+	ft := storage.FromRows(fName, s.fSchema, rows)
+	ctx.Counter.PageWrites += int64(ft.NumPages()) // AvailCost_F: materializing F
+	o.Cat.AddTable(ft)
+	defer o.Cat.Drop(fName)
+
+	rb, err := restrictedBlock(o.Cat, s.entry, s.bodyCols, fName)
+	if err != nil {
+		return nil, err
+	}
+	node, err := o.OptimizeBlock(rb)
+	if err != nil {
+		return nil, fmt.Errorf("core: planning restricted view %s: %w", s.entry.Name, err)
+	}
+	var op exec.Operator = node.Make()
+	if s.entry.Site > 0 {
+		ctx.Counter.NetMsgs++
+		ctx.Counter.NetBytes += int64(s.choice.filterShipBytes(keys, s))
+		vs, err := s.entry.Schema(o.Cat)
+		if err != nil {
+			return nil, err
+		}
+		op = dist.NewShip(op, vs.RowWidth())
+	}
+	if s.localPred != nil {
+		op = exec.NewSelect(op, s.localPred)
+	}
+	return op, nil
+}
+
+// Next implements exec.Operator.
+func (f *filterJoinOp) Next(ctx *exec.Context) (value.Row, bool, error) {
+	if f.final == nil {
+		return nil, false, fmt.Errorf("core: filter join not opened")
+	}
+	return f.final.Next(ctx)
+}
+
+// Close implements exec.Operator.
+func (f *filterJoinOp) Close(ctx *exec.Context) error {
+	if f.final == nil {
+		return nil
+	}
+	err := f.final.Close(ctx)
+	f.final = nil
+	return err
+}

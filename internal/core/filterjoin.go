@@ -1,0 +1,614 @@
+package core
+
+import (
+	"math"
+
+	"filterjoin/internal/bloom"
+	"filterjoin/internal/catalog"
+	"filterjoin/internal/cost"
+	"filterjoin/internal/expr"
+	"filterjoin/internal/opt"
+	"filterjoin/internal/plan"
+	"filterjoin/internal/stats"
+	"filterjoin/internal/storage"
+)
+
+// DefaultSamplePoints are the filter selectivities at which the view
+// coster samples nested optimizations — the equivalence classes of
+// Fig 5. More points buy estimate accuracy for optimization time (the
+// paper's "performance knob").
+var DefaultSamplePoints = []float64{0.02, 0.25, 0.6, 1.0}
+
+// DefaultBloomBitsPerEntry is the Bloom filter budget (≈1% FPR).
+const DefaultBloomBitsPerEntry = 10
+
+// Options configures the Filter Join method.
+type Options struct {
+	// IncludeStored also offers Filter Joins over local base tables
+	// (the local semi-join of §5.3). Virtual relations are always
+	// considered.
+	IncludeStored bool
+	// AttrSubsets considers single-attribute filter sets in addition to
+	// the all-attributes set when the join has multiple attributes
+	// (a Limitation 3 variant; lossy in the "partial SIPS" sense).
+	AttrSubsets bool
+	// Bloom considers the Bloom filter representation for stored and
+	// remote inners.
+	Bloom bool
+	// BloomBitsPerEntry sizes Bloom filters (default 10).
+	BloomBitsPerEntry float64
+	// SamplePoints are the view-coster equivalence classes (default
+	// DefaultSamplePoints).
+	SamplePoints []float64
+	// DisableExact suppresses the exact filter-set variant, forcing the
+	// lossy representation; an ablation/forcing knob for experiments,
+	// not something a production configuration would set.
+	DisableExact bool
+	// PrefixProductionSets relaxes Limitation 2: in addition to the full
+	// outer, every prefix subplan of the outer is considered as the
+	// production set (paper §3.3 — "if one is willing to incur the
+	// increase in complexity ... Limitation 2 is not required"). The
+	// filter set from a prefix is less restrictive but can be far
+	// cheaper to produce, and the final join still runs against the
+	// full outer. Optimization work grows by at most a factor of N.
+	PrefixProductionSets bool
+}
+
+// Metrics instruments the method.
+type Metrics struct {
+	CandidatesBuilt int64
+	CosterBuilds    int64 // parametric costers constructed (each costs a few nested optimizations)
+	CosterHits      int64 // costing queries answered from cache in O(1)
+}
+
+// Method is the Filter Join join-method; register it on an optimizer via
+// opt.Optimizer.Register.
+type Method struct {
+	Opts    Options
+	Metrics Metrics
+	// Trace, when non-nil, observes every candidate the method builds
+	// with its weighted total cost (used by ablation experiments).
+	Trace   func(ch *Choice, total float64)
+	costers map[costerKey]*ViewCoster
+}
+
+// NewMethod creates a Filter Join method with the given options.
+func NewMethod(opts Options) *Method {
+	if opts.BloomBitsPerEntry <= 0 {
+		opts.BloomBitsPerEntry = DefaultBloomBitsPerEntry
+	}
+	return &Method{Opts: opts, costers: map[costerKey]*ViewCoster{}}
+}
+
+// Name implements opt.JoinMethod.
+func (m *Method) Name() string { return "filterjoin" }
+
+// ResetCosterCache drops memoized view costers (after data changes).
+func (m *Method) ResetCosterCache() { m.costers = map[costerKey]*ViewCoster{} }
+
+// Costers exposes the cached parametric costers (experiment E3/E4).
+func (m *Method) Costers() []*ViewCoster {
+	out := make([]*ViewCoster, 0, len(m.costers))
+	for _, vc := range m.costers {
+		out = append(out, vc)
+	}
+	return out
+}
+
+func pagesOf(rows float64, rowBytes int) float64 {
+	if rows <= 0 {
+		return 0
+	}
+	rpp := storage.PageSize / rowBytes
+	if rpp < 1 {
+		rpp = 1
+	}
+	return math.Ceil(rows / float64(rpp))
+}
+
+// Candidates implements opt.JoinMethod: it proposes Filter Join plans for
+// joining outer with the inner relation, one per (attribute subset ×
+// representation) variant allowed by Limitation 3.
+func (m *Method) Candidates(c *opt.Ctx, outer *plan.Node, inner int) ([]*plan.Node, error) {
+	ri := c.Rels[inner]
+	if ri.Entry.Kind == catalog.KindBase && !m.Opts.IncludeStored {
+		return nil, nil
+	}
+	preds := c.ApplicablePreds(outer.Rels, inner)
+	allOuter, allInner, residualPreds := c.EquiSplit(preds, outer.Rels, inner)
+	if len(allOuter) == 0 {
+		return nil, nil
+	}
+	// Equality closure can equate several outer columns with the same
+	// inner column; one binding per inner column suffices (they carry
+	// identical values), but the alternatives matter for prefix
+	// production sets, where only some equality-class members exist in
+	// the prefix subplan.
+	var outerAlts [][]int
+	allOuter, allInner, outerAlts = dedupeByInner(allOuter, allInner)
+	rows, outStats := c.JoinResult(outer, inner, preds)
+	combined := c.CombinedColMap(outer, inner)
+
+	// Attribute-subset variants (Limitation 3): the full attribute set,
+	// plus each single attribute when enabled.
+	variants := [][]int{allIdx(len(allOuter))}
+	if m.Opts.AttrSubsets && len(allOuter) > 1 {
+		for j := range allOuter {
+			variants = append(variants, []int{j})
+		}
+	}
+
+	// Production-set variants: the full outer (Limitation 2), plus every
+	// prefix subplan of the outer when the relaxation is enabled.
+	prods := []*plan.Node{nil}
+	if m.Opts.PrefixProductionSets {
+		prods = append(prods, prefixChain(outer)...)
+	}
+
+	var out []*plan.Node
+	for _, prod := range prods {
+		for _, v := range variants {
+			var reprs []FilterRepr
+			if !m.Opts.DisableExact {
+				reprs = append(reprs, ReprExact)
+			}
+			if m.Opts.Bloom && ri.Entry.Kind != catalog.KindView && ri.Entry.Kind != catalog.KindFunc {
+				reprs = append(reprs, ReprBloom)
+			}
+			for _, repr := range reprs {
+				n, err := m.buildCandidate(c, outer, prod, inner, preds, allOuter, allInner, outerAlts, v, repr, residualPreds, rows, outStats, combined)
+				if err != nil {
+					return nil, err
+				}
+				if n != nil {
+					out = append(out, n)
+					m.Metrics.CandidatesBuilt++
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// prefixChain walks the outer's left spine and returns every proper
+// prefix subplan (smaller relation subsets of the same block).
+func prefixChain(outer *plan.Node) []*plan.Node {
+	var out []*plan.Node
+	n := outer
+	for len(n.Children) > 0 {
+		child := n.Children[0]
+		if child.Rels == 0 || len(child.ColMap) != len(outer.ColMap) ||
+			!child.Rels.SubsetOf(outer.Rels) {
+			break
+		}
+		if child.Rels != n.Rels && child.Rels != outer.Rels {
+			out = append(out, child)
+		}
+		n = child
+	}
+	return out
+}
+
+// dedupeByInner keeps one (outer, inner) pair per distinct inner column
+// and returns, for each kept pair, the full list of equivalent outer
+// columns.
+func dedupeByInner(outer, inner []int) ([]int, []int, [][]int) {
+	pos := map[int]int{}
+	var no, ni []int
+	var alts [][]int
+	for i := range inner {
+		if j, ok := pos[inner[i]]; ok {
+			alts[j] = append(alts[j], outer[i])
+			continue
+		}
+		pos[inner[i]] = len(ni)
+		no = append(no, outer[i])
+		ni = append(ni, inner[i])
+		alts = append(alts, []int{outer[i]})
+	}
+	return no, ni, alts
+}
+
+func allIdx(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// buildCandidate assembles one Filter Join plan node with the full
+// Table 1 cost breakdown. prod is the production-set subplan; nil means
+// the full outer (Limitation 2).
+func (m *Method) buildCandidate(
+	c *opt.Ctx, outer, prod *plan.Node, inner int, preds []*opt.PredInfo,
+	allOuter, allInner []int, outerAlts [][]int, variant []int, repr FilterRepr,
+	residualPreds []*opt.PredInfo, rows float64, outStats *stats.RelStats, combined []int,
+) (*plan.Node, error) {
+	prefix := prod != nil
+	if prod == nil {
+		prod = outer
+	}
+	ri := c.Rels[inner]
+	e := ri.Entry
+	model := c.O.Model
+
+	filterOuter := make([]int, len(variant))
+	filterInner := make([]int, len(variant))
+	for i, j := range variant {
+		filterInner[i] = allInner[j]
+		// Pick an outer column for this attribute that the production
+		// set actually carries (any member of the equality class works).
+		chosen := -1
+		for _, cand := range outerAlts[j] {
+			if cand >= 0 && cand < len(prod.ColMap) && prod.ColMap[cand] >= 0 {
+				chosen = cand
+				break
+			}
+		}
+		if chosen < 0 {
+			return nil, nil
+		}
+		filterOuter[i] = chosen
+	}
+	innerLocal := make([]int, len(filterInner))
+	for i, col := range filterInner {
+		innerLocal[i] = col - ri.Offset
+	}
+	allInnerLocal := make([]int, len(allInner))
+	for i, col := range allInner {
+		allInnerLocal[i] = col - ri.Offset
+	}
+
+	// Function relations need every argument bound by the filter set.
+	if e.Kind == catalog.KindFunc && !coversArgs(e.ArgCols, innerLocal) {
+		return nil, nil
+	}
+
+	// View bindings must have direct provenance into the body.
+	var bodyCols []int
+	if e.Kind == catalog.KindView {
+		bc, ok, err := viewBindings(c.O.Cat, e, innerLocal)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, nil
+		}
+		bodyCols = bc
+	}
+
+	outerFilterPos, ok := opt.OuterKeyPositions(prod, filterOuter)
+	if !ok {
+		return nil, nil
+	}
+	outerAllPos, ok := opt.OuterKeyPositions(outer, allOuter)
+	if !ok {
+		return nil, nil
+	}
+
+	// ---- Cardinalities -------------------------------------------------
+	fDistincts := make([]float64, len(filterOuter))
+	for i, col := range filterOuter {
+		fDistincts[i] = c.DistinctOfBlockCol(prod, col)
+	}
+	fCard := stats.ProjectionCardinality(prod.Rows, fDistincts)
+	if fCard < 1 && prod.Rows >= 1 {
+		fCard = 1
+	}
+	innerDistincts := make([]float64, len(innerLocal))
+	for i, col := range innerLocal {
+		innerDistincts[i] = ri.RawStats.DistinctOf(col)
+	}
+	innerDomain := stats.ProjectionCardinality(ri.RawStats.Rows, innerDistincts)
+	if innerDomain < 1 {
+		innerDomain = 1
+	}
+	fSel := fCard / innerDomain
+	if fSel > 1 {
+		fSel = 1
+	}
+	effSel := fSel
+	if repr == ReprBloom {
+		fpr := bloom.TheoreticalFPR(m.Opts.BloomBitsPerEntry)
+		effSel = fSel + fpr*(1-fSel)
+		if effSel > 1 {
+			effSel = 1
+		}
+	}
+
+	keyBytes := 0
+	for _, col := range filterInner {
+		keyBytes += c.Layout.Schema.Col(col).Type.Width()
+	}
+	if keyBytes == 0 {
+		keyBytes = 8
+	}
+
+	var comp Components
+
+	// ---- JoinCost_P and ProductionCost_P -------------------------------
+	comp.JoinCostP = outer.Est
+	materialize := false
+	if prefix {
+		// The filter set is produced by re-running the prefix subplan;
+		// the full outer streams once into the final join unchanged.
+		comp.ProductionCostP = prod.Est
+	} else {
+		pRowBytes := outer.OutSchema.RowWidth()
+		pagesP := pagesOf(outer.Rows, pRowBytes)
+		matExtra := cost.Estimate{PageWrites: pagesP, PageReads: 2 * pagesP, CPUTuples: 2 * outer.Rows}
+		materialize = model.TotalEstimate(matExtra) <= model.TotalEstimate(outer.Est)
+		if materialize {
+			comp.ProductionCostP = matExtra
+		} else {
+			comp.ProductionCostP = outer.Est // recompute P for the final join
+		}
+	}
+
+	// ---- ProjCost_F -----------------------------------------------------
+	comp.ProjCostF = cost.Estimate{CPUTuples: prod.Rows}
+
+	// ---- AvailCost_F ----------------------------------------------------
+	filterBytes := fCard * float64(keyBytes)
+	if repr == ReprBloom {
+		filterBytes = math.Ceil(fCard*m.Opts.BloomBitsPerEntry/8) + 64
+		comp.AvailCostF.CPUTuples += fCard // building the Bloom filter from the key set
+	}
+	if e.Site > 0 {
+		comp.AvailCostF.NetBytes += filterBytes
+		comp.AvailCostF.NetMsgs++
+	}
+	if e.Kind == catalog.KindView {
+		// The runtime writes F into a transient table the magic-rewritten
+		// view plan scans.
+		comp.AvailCostF.PageWrites += pagesOf(fCard, keyBytes)
+	}
+
+	// ---- FilterCost_Rk, AvailCost_Rk', restricted cardinality ----------
+	var (
+		restrictRows float64
+		access       InnerAccess
+		chosenIx     *storage.HashIndex
+		ixOuterPerm  []int // permutation: index col order -> position in filter key row
+	)
+	switch e.Kind {
+	case catalog.KindBase, catalog.KindRemote:
+		t := e.Table
+		raw := ri.RawStats
+		tablePages := float64(t.NumPages())
+		scanEst := cost.Estimate{PageReads: tablePages, CPUTuples: 2 * raw.Rows}
+		if ri.LocalPred != nil {
+			scanEst.CPUTuples += raw.Rows * effSel
+		}
+		restrictRows = raw.Rows * effSel * ri.LocalSel
+		comp.FilterCostRk = scanEst
+		access = AccessScanFilter
+		if repr == ReprExact {
+			if ix := pickIndexOn(t, innerLocal); ix != nil {
+				keyCardDistincts := make([]float64, len(ix.Cols()))
+				for i, col := range ix.Cols() {
+					keyCardDistincts[i] = raw.DistinctOf(col)
+				}
+				keyCard := stats.ProjectionCardinality(raw.Rows, keyCardDistincts)
+				if keyCard < 1 {
+					keyCard = 1
+				}
+				k := raw.Rows / keyCard
+				clustered := len(ix.Cols()) > 0 && raw.ClusteredOn(ix.Cols()[0])
+				matchPages := stats.MatchPages(raw.Rows, tablePages, k, t.RowsPerPage(), clustered)
+				ixEst := cost.Estimate{
+					PageReads: fCard * (1 + matchPages),
+					CPUTuples: fCard * (k + 2),
+				}
+				if ri.LocalPred != nil {
+					ixEst.CPUTuples += fCard * k
+				}
+				if model.TotalEstimate(ixEst) < model.TotalEstimate(scanEst) {
+					comp.FilterCostRk = ixEst
+					access = AccessIndexProbe
+					chosenIx = ix
+					ixOuterPerm = indexPermutation(ix.Cols(), innerLocal)
+				}
+			}
+		}
+		if e.Kind == catalog.KindRemote {
+			if access == AccessScanFilter {
+				access = AccessRemote
+			}
+			comp.AvailCostRkP = cost.Estimate{
+				NetBytes:  restrictRows * float64(t.Schema().RowWidth()),
+				NetMsgs:   1,
+				CPUTuples: restrictRows,
+			}
+		}
+
+	case catalog.KindView:
+		key := costerKey{view: e.Name, attrs: attrsKey(innerLocal)}
+		vc, okc := m.costers[key]
+		if !okc {
+			var err error
+			vc, err = m.buildViewCoster(c, ri, innerLocal, bodyCols)
+			if err != nil {
+				return nil, err
+			}
+			m.costers[key] = vc
+			m.Metrics.CosterBuilds++
+		} else {
+			m.Metrics.CosterHits++
+		}
+		comp.FilterCostRk = vc.Cost(fSel)
+		restrictRows = vc.Rows(fSel) * ri.LocalSel
+		if ri.LocalPred != nil {
+			comp.FilterCostRk.CPUTuples += vc.Rows(fSel)
+		}
+		access = AccessMagicView
+		if e.Site > 0 {
+			vs := ri.Schema
+			comp.AvailCostRkP = cost.Estimate{
+				NetBytes:  restrictRows * float64(vs.RowWidth()),
+				NetMsgs:   1,
+				CPUTuples: restrictRows,
+			}
+		}
+
+	case catalog.KindFunc:
+		perCall := funcPerCall(e, ri.RawStats)
+		comp.FilterCostRk = cost.Estimate{FnCalls: fCard, CPUTuples: fCard * (perCall + 1)}
+		restrictRows = fCard * perCall * ri.LocalSel
+		if ri.LocalPred != nil {
+			comp.FilterCostRk.CPUTuples += fCard * perCall
+		}
+		access = AccessFuncCalls
+
+	default:
+		return nil, nil
+	}
+
+	// ---- FinalJoinCost --------------------------------------------------
+	comp.FinalJoinCost = cost.Estimate{CPUTuples: restrictRows + outer.Rows + rows}
+
+	ch := &Choice{
+		InnerName:        e.Name,
+		InnerIndex:       inner,
+		AllOuterCols:     allOuter,
+		AllInnerCols:     allInner,
+		FilterOuterCols:  filterOuter,
+		FilterInnerCols:  filterInner,
+		Repr:             repr,
+		BloomBits:        m.Opts.BloomBitsPerEntry,
+		Access:           access,
+		Materialize:      materialize,
+		PrefixProduction: prefix,
+		FilterCard:       fCard,
+		FilterSel:        fSel,
+		RestrictRows:     restrictRows,
+		Components:       comp,
+	}
+	if prefix {
+		ch.ProductionRels = prod.Rels.Members()
+	}
+
+	op := &fjExecSpec{
+		method:         m,
+		o:              c.O,
+		entry:          e,
+		choice:         ch,
+		outerMake:      outer.Make,
+		alias:          ri.Ref.Binding(),
+		outerFilterPos: outerFilterPos,
+		outerAllPos:    outerAllPos,
+		innerFilterLoc: innerLocal,
+		innerAllLoc:    allInnerLocal,
+		residual:       opt.ResidualExpr(residualPreds, combined),
+		localPred:      relLocalPred(ri),
+		index:          chosenIx,
+		ixPerm:         ixOuterPerm,
+		bodyCols:       bodyCols,
+		keyBytes:       keyBytes,
+		filterBytes:    filterBytes,
+	}
+	if prefix {
+		op.filterMake = prod.Make
+	}
+	if e.Kind == catalog.KindView {
+		fs, err := filterSchema(c.O.Cat, e, innerLocal)
+		if err != nil {
+			return nil, err
+		}
+		op.fSchema = fs
+	}
+
+	if m.Trace != nil {
+		m.Trace(ch, model.TotalEstimate(comp.Total()))
+	}
+	return &plan.Node{
+		Kind:      "FilterJoin",
+		Detail:    e.Name + ": " + ch.String(),
+		Children:  []*plan.Node{outer},
+		Est:       comp.Total(),
+		Rows:      rows,
+		Stats:     outStats,
+		OutSchema: outer.OutSchema.Concat(ri.Schema),
+		ColMap:    combined,
+		Rels:      outer.Rels.With(inner),
+		Make:      op.make,
+		Extra:     ch,
+	}, nil
+}
+
+func coversArgs(argCols, innerLocal []int) bool {
+	have := map[int]bool{}
+	for _, c := range innerLocal {
+		have[c] = true
+	}
+	for _, a := range argCols {
+		if !have[a] {
+			return false
+		}
+	}
+	return true
+}
+
+func relLocalPred(ri *opt.RelInfo) expr.Expr {
+	if ri.LocalPred == nil {
+		return nil
+	}
+	return expr.Remap(ri.LocalPred, ri.ColMap)
+}
+
+// pickIndexOn selects an index whose key columns are a subset of cols.
+func pickIndexOn(t *storage.Table, cols []int) *storage.HashIndex {
+	have := map[int]bool{}
+	for _, c := range cols {
+		have[c] = true
+	}
+	var best *storage.HashIndex
+	for _, ix := range t.Indexes() {
+		ok := true
+		for _, c := range ix.Cols() {
+			if !have[c] {
+				ok = false
+				break
+			}
+		}
+		if ok && (best == nil || len(ix.Cols()) > len(best.Cols())) {
+			best = ix
+		}
+	}
+	return best
+}
+
+// indexPermutation maps each index key column to its position within the
+// filter key row (which is laid out in innerLocal order).
+func indexPermutation(ixCols, innerLocal []int) []int {
+	perm := make([]int, len(ixCols))
+	for i, ic := range ixCols {
+		perm[i] = -1
+		for j, lc := range innerLocal {
+			if lc == ic {
+				perm[i] = j
+				break
+			}
+		}
+	}
+	return perm
+}
+
+func funcPerCall(e *catalog.Entry, raw *stats.RelStats) float64 {
+	perCall := e.FnPerCall
+	if perCall <= 0 {
+		perCall = 1
+	}
+	if raw != nil && raw.Rows > 0 && len(e.ArgCols) > 0 {
+		d := make([]float64, len(e.ArgCols))
+		for i, a := range e.ArgCols {
+			d[i] = raw.DistinctOf(a)
+		}
+		dom := stats.ProjectionCardinality(raw.Rows, d)
+		if dom >= 1 {
+			perCall = raw.Rows / dom
+		}
+	}
+	return perCall
+}

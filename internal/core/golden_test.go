@@ -1,0 +1,84 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"filterjoin/internal/core"
+	"filterjoin/internal/cost"
+	"filterjoin/internal/opt"
+	"filterjoin/internal/plan"
+)
+
+// TestGoldenPlanShapes pins the optimizer's qualitative decisions on the
+// canonical workload: which operators appear at which selectivities.
+// These are behavioural regressions tests for the cost model — if a
+// weight or formula change flips a decision the paper's story depends
+// on, this fails with the full plan text.
+func TestGoldenPlanShapes(t *testing.T) {
+	model := cost.DefaultModel()
+	cases := []struct {
+		name      string
+		bigFrac   float64
+		mustHave  []string
+		mustNotHa []string
+	}{
+		{
+			name:     "selective_uses_filter_join",
+			bigFrac:  0.02,
+			mustHave: []string{"FilterJoin", "TableScan"},
+		},
+		{
+			name:      "unselective_full_computation",
+			bigFrac:   0.6,
+			mustHave:  []string{"ViewScan", "GroupBy"},
+			mustNotHa: []string{"FilterJoin"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cat := fig1DB(t, 20000, 400, 0.2, tc.bigFrac)
+			o := opt.New(cat, model)
+			o.Register(core.NewMethod(core.Options{}))
+			p, err := o.OptimizeBlock(fig1Query())
+			if err != nil {
+				t.Fatal(err)
+			}
+			text := plan.Format(p, model)
+			for _, want := range tc.mustHave {
+				if !strings.Contains(text, want) {
+					t.Errorf("plan must contain %q:\n%s", want, text)
+				}
+			}
+			for _, not := range tc.mustNotHa {
+				if strings.Contains(text, not) {
+					t.Errorf("plan must not contain %q:\n%s", not, text)
+				}
+			}
+		})
+	}
+}
+
+// TestFilterJoinComponentsAddUpInPlan: the FilterJoin node's Est must be
+// exactly the sum of its recorded Table 1 components.
+func TestFilterJoinComponentsAddUpInPlan(t *testing.T) {
+	cat := fig1DB(t, 20000, 400, 0.2, 0.03)
+	model := cost.DefaultModel()
+	o := opt.New(cat, model)
+	o.Register(core.NewMethod(core.Options{}))
+	p, err := o.OptimizeBlock(fig1Query())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fj := p.Find("FilterJoin")
+	if fj == nil {
+		t.Skip("filter join not chosen on this workload")
+	}
+	ch, ok := fj.Extra.(*core.Choice)
+	if !ok {
+		t.Fatal("FilterJoin node lacks its Choice annotation")
+	}
+	if fj.Est != ch.Components.Total() {
+		t.Errorf("node Est %+v != components total %+v", fj.Est, ch.Components.Total())
+	}
+}

@@ -1,0 +1,125 @@
+package cost
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterAddDiff(t *testing.T) {
+	a := Counter{PageReads: 3, CPUTuples: 10}
+	b := Counter{PageReads: 1, NetBytes: 512, NetMsgs: 2}
+	a.Add(b)
+	if a.PageReads != 4 || a.NetBytes != 512 || a.CPUTuples != 10 {
+		t.Errorf("Add = %+v", a)
+	}
+	d := a.Diff(b)
+	if d.PageReads != 3 || d.NetBytes != 0 || d.CPUTuples != 10 {
+		t.Errorf("Diff = %+v", d)
+	}
+}
+
+func TestCounterIsZeroAndString(t *testing.T) {
+	var c Counter
+	if !c.IsZero() {
+		t.Error("zero counter should be zero")
+	}
+	if c.String() != "{}" {
+		t.Errorf("zero renders %q", c.String())
+	}
+	c.FnCalls = 2
+	if c.IsZero() {
+		t.Error("non-zero counter")
+	}
+	if !strings.Contains(c.String(), "fn=2") {
+		t.Errorf("String() = %q", c.String())
+	}
+}
+
+func TestDefaultModelUnits(t *testing.T) {
+	m := DefaultModel()
+	if m.Total(Counter{PageReads: 1}) != 1 {
+		t.Error("one page read must cost exactly one unit")
+	}
+	if m.Total(Counter{CPUTuples: 1000}) != 1 {
+		t.Error("1000 tuple ops should equal one page read")
+	}
+	if m.Total(Counter{NetMsgs: 1}) != 1 {
+		t.Error("one message costs one unit")
+	}
+}
+
+func TestSpecializedModels(t *testing.T) {
+	c := Counter{PageReads: 10, NetBytes: 1 << 20, NetMsgs: 5}
+	if LocalOnlyModel().Total(c) != 10 {
+		t.Error("local-only model must ignore the network")
+	}
+	netOnly := NetworkOnlyModel().Total(c)
+	if netOnly <= 0 {
+		t.Error("network-only model must charge the network")
+	}
+	if NetworkOnlyModel().Total(Counter{PageReads: 100}) != 0 {
+		t.Error("network-only model must ignore pages")
+	}
+}
+
+func TestModelScale(t *testing.T) {
+	m := DefaultModel().Scale(2)
+	if m.Total(Counter{PageReads: 1}) != 2 {
+		t.Error("scaled model doubles costs")
+	}
+}
+
+func TestTotalLinearity(t *testing.T) {
+	m := DefaultModel()
+	f := func(r1, r2, c1, c2 uint16) bool {
+		a := Counter{PageReads: int64(r1), CPUTuples: int64(c1)}
+		b := Counter{PageReads: int64(r2), CPUTuples: int64(c2)}
+		sum := a
+		sum.Add(b)
+		lhs := m.Total(sum)
+		rhs := m.Total(a) + m.Total(b)
+		return abs(lhs-rhs) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestEstimateArithmetic(t *testing.T) {
+	a := Estimate{PageReads: 2, CPUTuples: 100}
+	b := Estimate{PageReads: 1, NetBytes: 50}
+	s := a.Plus(b)
+	if s.PageReads != 3 || s.NetBytes != 50 || s.CPUTuples != 100 {
+		t.Errorf("Plus = %+v", s)
+	}
+	d := a.Times(2)
+	if d.PageReads != 4 || d.CPUTuples != 200 {
+		t.Errorf("Times = %+v", d)
+	}
+}
+
+func TestEstimateTotalsMatchCounterTotals(t *testing.T) {
+	m := DefaultModel()
+	c := Counter{PageReads: 7, PageWrites: 3, CPUTuples: 999, NetBytes: 4096, NetMsgs: 2, FnCalls: 5}
+	if abs(m.TotalEstimate(FromCounter(c))-m.Total(c)) > 1e-9 {
+		t.Error("estimate-of-counter must weigh identically to the counter")
+	}
+}
+
+func TestEstimateString(t *testing.T) {
+	e := Estimate{PageReads: 1.5}
+	if !strings.Contains(e.String(), "pageR=1.5") {
+		t.Errorf("String() = %q", e.String())
+	}
+	if (Estimate{}).String() != "{}" {
+		t.Error("zero estimate renders {}")
+	}
+}

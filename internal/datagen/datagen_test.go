@@ -1,0 +1,180 @@
+package datagen
+
+import (
+	"testing"
+
+	"filterjoin/internal/value"
+)
+
+func TestFig1CatalogShape(t *testing.T) {
+	p := DefaultFig1()
+	p.NEmp, p.NDept = 1000, 50
+	cat, err := Fig1Catalog(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp, err := cat.Get("Emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emp.Table.NumRows() != 1000 {
+		t.Errorf("Emp rows = %d", emp.Table.NumRows())
+	}
+	if emp.Table.Index("emp_did") == nil {
+		t.Error("emp_did index missing")
+	}
+	dept, err := cat.Get("Dept")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dept.Table.NumRows() != 50 {
+		t.Errorf("Dept rows = %d", dept.Table.NumRows())
+	}
+	if !cat.Has("DepAvgSal") {
+		t.Error("view missing")
+	}
+	// Clustered: did non-decreasing.
+	st := emp.Stats()
+	if !st.Cols[1].Sorted {
+		t.Error("clustered Emp must be sorted on did")
+	}
+}
+
+func TestFig1Deterministic(t *testing.T) {
+	p := DefaultFig1()
+	p.NEmp, p.NDept = 500, 20
+	c1, err := Fig1Catalog(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Fig1Catalog(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, _ := c1.Get("Emp")
+	e2, _ := c2.Get("Emp")
+	for i := 0; i < 500; i++ {
+		if e1.Table.Row(i).String() != e2.Table.Row(i).String() {
+			t.Fatalf("row %d differs between runs with the same seed", i)
+		}
+	}
+}
+
+func TestFig1SelectivityKnobs(t *testing.T) {
+	p := DefaultFig1()
+	p.NEmp, p.NDept = 4000, 100
+	p.BigFrac = 0.1
+	p.YoungFrac = 0.25
+	cat, err := Fig1Catalog(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dept, _ := cat.Get("Dept")
+	big := 0
+	for _, r := range dept.Table.Rows() {
+		if r[1].Int() > 100000 {
+			big++
+		}
+	}
+	if big < 3 || big > 25 {
+		t.Errorf("big departments = %d of 100, want ≈10", big)
+	}
+	emp, _ := cat.Get("Emp")
+	young := 0
+	for _, r := range emp.Table.Rows() {
+		if r[3].Int() < 30 {
+			young++
+		}
+	}
+	if young < 700 || young > 1400 {
+		t.Errorf("young employees = %d of 4000, want ≈1000", young)
+	}
+}
+
+func TestDistCatalogShape(t *testing.T) {
+	p := DefaultDist()
+	p.NCustomers, p.NOrders = 200, 2000
+	cat, err := DistCatalog(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orders, err := cat.Get("Orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orders.Site != 1 {
+		t.Error("Orders must be remote")
+	}
+	if orders.Table.Index("orders_ckey") == nil {
+		t.Error("remote index missing")
+	}
+	ot, err := cat.Get("OrderTotals")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ot.Site != 1 || ot.ViewDef == nil {
+		t.Error("OrderTotals must be a remote view")
+	}
+	cust, _ := cat.Get("Customer")
+	if cust.Site != 0 {
+		t.Error("Customer is local")
+	}
+}
+
+func TestUDRCatalogFunction(t *testing.T) {
+	p := DefaultUDR()
+	p.NEmp, p.NDept, p.PerCall = 500, 20, 4
+	cat, counter, err := UDRCatalog(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := cat.Get("DeptPerks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := e.Fn(value.Row{value.NewInt(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Errorf("perCall rows = %d", len(rows))
+	}
+	if counter.Calls != 1 {
+		t.Errorf("Calls = %d", counter.Calls)
+	}
+	for _, r := range rows {
+		if r[0].Int() != 3 {
+			t.Error("function must echo its binding")
+		}
+	}
+	if _, err := e.Fn(value.Row{}); err == nil {
+		t.Error("wrong arity must error")
+	}
+}
+
+func TestQueriesBindAgainstCatalogs(t *testing.T) {
+	figCat, err := Fig1Catalog(Fig1Params{NEmp: 100, NDept: 10, YoungFrac: 0.5, BigFrac: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fig1Query().Layout(figCat); err != nil {
+		t.Errorf("Fig1Query layout: %v", err)
+	}
+	distCat, err := DistCatalog(DistParams{NCustomers: 50, NOrders: 100, SegFrac: 0.2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DistQuery().Layout(distCat); err != nil {
+		t.Errorf("DistQuery layout: %v", err)
+	}
+	if _, err := DistBaseQuery().Layout(distCat); err != nil {
+		t.Errorf("DistBaseQuery layout: %v", err)
+	}
+	udrCat, _, err := UDRCatalog(UDRParams{NEmp: 100, NDept: 10, PerCall: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UDRQuery().Layout(udrCat); err != nil {
+		t.Errorf("UDRQuery layout: %v", err)
+	}
+}

@@ -1,0 +1,162 @@
+// Package dist is the distributed-database substrate: operators that
+// model data crossing the network between sites. There is no real
+// network — rows live in local memory — but every crossing charges
+// NetBytes and NetMsgs against the cost counter, which is all the
+// semi-join vs fetch-matches vs ship-whole tradeoff (paper §5.1, SDD-1
+// vs System R*) depends on.
+package dist
+
+import (
+	"filterjoin/internal/exec"
+	"filterjoin/internal/expr"
+	"filterjoin/internal/schema"
+	"filterjoin/internal/storage"
+	"filterjoin/internal/value"
+)
+
+// Ship moves its child's entire output stream across the network: one
+// message per Open plus rowBytes per row. It models both "ship the whole
+// inner to the query site" and "ship the filtered inner back" legs.
+type Ship struct {
+	Child    Operator
+	RowBytes int
+}
+
+// Operator aliases exec.Operator for readability within this package.
+type Operator = exec.Operator
+
+// NewShip wraps child in a network shipment of rowBytes per row.
+func NewShip(child Operator, rowBytes int) *Ship {
+	return &Ship{Child: child, RowBytes: rowBytes}
+}
+
+// Schema implements exec.Operator.
+func (s *Ship) Schema() *schema.Schema { return s.Child.Schema() }
+
+// Open implements exec.Operator.
+func (s *Ship) Open(ctx *exec.Context) error {
+	ctx.Counter.NetMsgs++
+	return s.Child.Open(ctx)
+}
+
+// Next implements exec.Operator.
+func (s *Ship) Next(ctx *exec.Context) (value.Row, bool, error) {
+	r, ok, err := s.Child.Next(ctx)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	ctx.Counter.NetBytes += int64(s.RowBytes)
+	ctx.Counter.CPUTuples++
+	return r, true, nil
+}
+
+// Close implements exec.Operator.
+func (s *Ship) Close(ctx *exec.Context) error { return s.Child.Close(ctx) }
+
+// FetchMatchesJoin is the System R* "fetch matches as needed" strategy:
+// for every outer row, send the join key to the remote site (one message
+// plus key bytes), probe an index there (remote page reads), and ship
+// the matching rows back (row bytes). The inner table must have a hash
+// index on the join key.
+type FetchMatchesJoin struct {
+	Outer       Operator
+	Table       *storage.Table
+	Index       *storage.HashIndex
+	OuterKeyIdx []int
+	Residual    expr.Expr // bound against Outer.Schema()‖inner schema
+	InnerAlias  string
+
+	innerSch *schema.Schema
+	out      *schema.Schema
+	keyBytes int
+	rowBytes int
+	cur      value.Row
+	ids      []int
+	pos      int
+	done     bool
+}
+
+// NewFetchMatchesJoin builds the remote repeated-probe join.
+func NewFetchMatchesJoin(outer Operator, t *storage.Table, ix *storage.HashIndex, outerKeyIdx []int, residual expr.Expr, innerAlias string) *FetchMatchesJoin {
+	is := t.Schema()
+	if innerAlias != "" {
+		is = is.Rename(innerAlias)
+	}
+	keyBytes := 0
+	for _, c := range ix.Cols() {
+		keyBytes += t.Schema().Col(c).Type.Width()
+	}
+	return &FetchMatchesJoin{
+		Outer:       outer,
+		Table:       t,
+		Index:       ix,
+		OuterKeyIdx: outerKeyIdx,
+		Residual:    residual,
+		InnerAlias:  innerAlias,
+		innerSch:    is,
+		out:         outer.Schema().Concat(is),
+		keyBytes:    keyBytes,
+		rowBytes:    t.Schema().RowWidth(),
+	}
+}
+
+// Schema implements exec.Operator.
+func (j *FetchMatchesJoin) Schema() *schema.Schema { return j.out }
+
+// Open implements exec.Operator.
+func (j *FetchMatchesJoin) Open(ctx *exec.Context) error {
+	j.cur = nil
+	j.ids = nil
+	j.pos = 0
+	j.done = false
+	return j.Outer.Open(ctx)
+}
+
+// Next implements exec.Operator.
+func (j *FetchMatchesJoin) Next(ctx *exec.Context) (value.Row, bool, error) {
+	if j.done {
+		return nil, false, nil
+	}
+	for {
+		if j.cur == nil {
+			r, ok, err := j.Outer.Next(ctx)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				j.done = true
+				return nil, false, nil
+			}
+			j.cur = r
+			// One round trip: key goes out, matches come back.
+			ctx.Counter.NetMsgs++
+			ctx.Counter.NetBytes += int64(j.keyBytes)
+			ctx.Counter.PageReads++ // remote index probe
+			j.ids = j.Index.LookupRow(r, j.OuterKeyIdx)
+			ctx.Counter.PageReads += int64(storage.ProbePages(j.ids, j.Table.RowsPerPage()))
+			ctx.Counter.NetBytes += int64(len(j.ids) * j.rowBytes)
+			j.pos = 0
+		}
+		if j.pos >= len(j.ids) {
+			j.cur = nil
+			continue
+		}
+		inner := j.Table.Row(j.ids[j.pos])
+		j.pos++
+		ctx.Counter.CPUTuples++
+		joined := j.cur.Concat(inner)
+		if j.Residual != nil {
+			keep, err := expr.EvalBool(j.Residual, joined)
+			if err != nil {
+				return nil, false, err
+			}
+			if !keep {
+				continue
+			}
+		}
+		return joined, true, nil
+	}
+}
+
+// Close implements exec.Operator.
+func (j *FetchMatchesJoin) Close(ctx *exec.Context) error { return j.Outer.Close(ctx) }

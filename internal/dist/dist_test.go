@@ -1,0 +1,126 @@
+package dist
+
+import (
+	"sort"
+	"testing"
+
+	"filterjoin/internal/exec"
+	"filterjoin/internal/expr"
+	"filterjoin/internal/schema"
+	"filterjoin/internal/storage"
+	"filterjoin/internal/value"
+)
+
+func table(t testing.TB, name string, rows [][]int64) *storage.Table {
+	t.Helper()
+	s := schema.New(
+		schema.Column{Table: name, Name: "k", Type: value.KindInt},
+		schema.Column{Table: name, Name: "v", Type: value.KindInt},
+	)
+	tb := storage.NewTable(name, s)
+	for _, r := range rows {
+		tb.MustInsert(value.NewInt(r[0]), value.NewInt(r[1]))
+	}
+	return tb
+}
+
+func TestShipCharges(t *testing.T) {
+	tb := table(t, "r", [][]int64{{1, 1}, {2, 2}, {3, 3}})
+	ship := NewShip(exec.NewTableScan(tb, ""), 16)
+	ctx := exec.NewContext()
+	rows, err := exec.Drain(ctx, ship)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if ctx.Counter.NetMsgs != 1 {
+		t.Errorf("NetMsgs = %d, want 1 per Open", ctx.Counter.NetMsgs)
+	}
+	if ctx.Counter.NetBytes != 3*16 {
+		t.Errorf("NetBytes = %d, want 48", ctx.Counter.NetBytes)
+	}
+	// A second execution charges a second message.
+	if _, err := exec.Drain(ctx, ship); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Counter.NetMsgs != 2 {
+		t.Error("each Open is a shipment")
+	}
+}
+
+func TestFetchMatchesJoinResults(t *testing.T) {
+	outer := table(t, "o", [][]int64{{1, 0}, {2, 0}, {9, 0}})
+	inner := table(t, "i", [][]int64{{1, 10}, {1, 11}, {2, 20}, {3, 30}})
+	ix, err := inner.CreateIndex("ik", []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := NewFetchMatchesJoin(exec.NewTableScan(outer, "o"), inner, ix, []int{0}, nil, "i")
+	ctx := exec.NewContext()
+	rows, err := exec.Drain(ctx, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]string, len(rows))
+	for i, r := range rows {
+		got[i] = r.String()
+	}
+	sort.Strings(got)
+	want := []string{"(1, 0, 1, 10)", "(1, 0, 1, 11)", "(2, 0, 2, 20)"}
+	if len(got) != len(want) {
+		t.Fatalf("rows = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("row %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+	// One message and key shipment per outer row.
+	if ctx.Counter.NetMsgs != 3 {
+		t.Errorf("NetMsgs = %d, want 3", ctx.Counter.NetMsgs)
+	}
+	if ctx.Counter.NetBytes == 0 {
+		t.Error("keys and matches must cost bytes")
+	}
+	if j.Schema().Len() != 4 {
+		t.Errorf("output schema width = %d", j.Schema().Len())
+	}
+}
+
+func TestFetchMatchesResidual(t *testing.T) {
+	outer := table(t, "o", [][]int64{{1, 15}})
+	inner := table(t, "i", [][]int64{{1, 10}, {1, 20}})
+	ix, _ := inner.CreateIndex("ik", []int{0})
+	// o.v < i.v over (o.k o.v i.k i.v).
+	res := expr.NewCmp(expr.LT, expr.NewCol(1, "o.v"), expr.NewCol(3, "i.v"))
+	j := NewFetchMatchesJoin(exec.NewTableScan(outer, "o"), inner, ix, []int{0}, res, "i")
+	ctx := exec.NewContext()
+	rows, err := exec.Drain(ctx, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][3].Int() != 20 {
+		t.Errorf("residual filtering wrong: %v", rows)
+	}
+}
+
+func TestFetchMatchesRestartable(t *testing.T) {
+	outer := table(t, "o", [][]int64{{1, 0}})
+	inner := table(t, "i", [][]int64{{1, 10}})
+	ix, _ := inner.CreateIndex("ik", []int{0})
+	j := NewFetchMatchesJoin(exec.NewTableScan(outer, "o"), inner, ix, []int{0}, nil, "i")
+	ctx := exec.NewContext()
+	r1, err := exec.Drain(ctx, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := exec.Drain(ctx, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1) != 1 || len(r2) != 1 {
+		t.Error("join must be restartable")
+	}
+}

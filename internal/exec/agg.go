@@ -1,0 +1,145 @@
+package exec
+
+import (
+	"sort"
+
+	"filterjoin/internal/expr"
+	"filterjoin/internal/schema"
+	"filterjoin/internal/value"
+)
+
+// GroupBy is hash aggregation: it groups child rows by the key columns
+// and computes the aggregate specs per group. Output rows are the group
+// key columns followed by one column per aggregate, in a deterministic
+// (sorted by group key) order. With no key columns it produces exactly
+// one row over the whole input (scalar aggregation).
+type GroupBy struct {
+	Child    Operator
+	GroupIdx []int
+	Aggs     []expr.AggSpec
+	out      *schema.Schema
+	results  []value.Row
+	pos      int
+}
+
+// NewGroupBy builds a hash aggregation operator. Output column names for
+// aggregates come from each spec's Name (or its String() if empty).
+func NewGroupBy(child Operator, groupIdx []int, aggs []expr.AggSpec) *GroupBy {
+	in := child.Schema()
+	cols := make([]schema.Column, 0, len(groupIdx)+len(aggs))
+	for _, g := range groupIdx {
+		cols = append(cols, in.Col(g))
+	}
+	for _, a := range aggs {
+		name := a.Name
+		if name == "" {
+			name = a.String()
+		}
+		cols = append(cols, schema.Column{Name: name, Type: a.ResultType()})
+	}
+	return &GroupBy{
+		Child:    child,
+		GroupIdx: groupIdx,
+		Aggs:     aggs,
+		out:      schema.New(cols...),
+	}
+}
+
+// Schema implements Operator.
+func (g *GroupBy) Schema() *schema.Schema { return g.out }
+
+type groupState struct {
+	key    value.Row
+	states []*expr.AggState
+}
+
+// Open implements Operator.
+func (g *GroupBy) Open(ctx *Context) error {
+	groups := map[string]*groupState{}
+	var order []string
+	if err := g.Child.Open(ctx); err != nil {
+		return err
+	}
+	for {
+		r, ok, err := g.Child.Next(ctx)
+		if err != nil {
+			g.Child.Close(ctx)
+			return err
+		}
+		if !ok {
+			break
+		}
+		ctx.Counter.CPUTuples++
+		k := r.Key(g.GroupIdx)
+		gs := groups[k]
+		if gs == nil {
+			gs = &groupState{key: r.Project(g.GroupIdx)}
+			gs.states = make([]*expr.AggState, len(g.Aggs))
+			for i, a := range g.Aggs {
+				gs.states[i] = expr.NewAggState(a.Kind)
+			}
+			groups[k] = gs
+			order = append(order, k)
+		}
+		for i, a := range g.Aggs {
+			var v value.Value
+			if a.Arg == nil {
+				v = value.NewInt(1) // COUNT(*)
+			} else {
+				var err error
+				v, err = a.Arg.Eval(r)
+				if err != nil {
+					g.Child.Close(ctx)
+					return err
+				}
+			}
+			if err := gs.states[i].Add(v); err != nil {
+				g.Child.Close(ctx)
+				return err
+			}
+		}
+	}
+	if err := g.Child.Close(ctx); err != nil {
+		return err
+	}
+	// Scalar aggregation over an empty input still yields one row.
+	if len(g.GroupIdx) == 0 && len(order) == 0 {
+		gs := &groupState{key: value.Row{}}
+		gs.states = make([]*expr.AggState, len(g.Aggs))
+		for i, a := range g.Aggs {
+			gs.states[i] = expr.NewAggState(a.Kind)
+		}
+		groups[""] = gs
+		order = append(order, "")
+	}
+	sort.Strings(order)
+	g.results = g.results[:0]
+	for _, k := range order {
+		gs := groups[k]
+		out := make(value.Row, 0, len(g.GroupIdx)+len(g.Aggs))
+		out = append(out, gs.key...)
+		for _, st := range gs.states {
+			out = append(out, st.Result())
+		}
+		g.results = append(g.results, out)
+	}
+	g.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (g *GroupBy) Next(ctx *Context) (value.Row, bool, error) {
+	if g.pos >= len(g.results) {
+		return nil, false, nil
+	}
+	r := g.results[g.pos]
+	g.pos++
+	ctx.Counter.CPUTuples++
+	return r, true, nil
+}
+
+// Close implements Operator.
+func (g *GroupBy) Close(*Context) error {
+	g.results = nil
+	return nil
+}

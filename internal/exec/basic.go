@@ -1,0 +1,277 @@
+package exec
+
+import (
+	"sort"
+
+	"filterjoin/internal/expr"
+	"filterjoin/internal/schema"
+	"filterjoin/internal/storage"
+	"filterjoin/internal/value"
+)
+
+// Select filters child rows by a predicate, charging one CPU operation
+// per evaluated row.
+type Select struct {
+	Child Operator
+	Pred  expr.Expr
+}
+
+// NewSelect builds a selection.
+func NewSelect(child Operator, pred expr.Expr) *Select {
+	return &Select{Child: child, Pred: pred}
+}
+
+// Schema implements Operator.
+func (s *Select) Schema() *schema.Schema { return s.Child.Schema() }
+
+// Open implements Operator.
+func (s *Select) Open(ctx *Context) error { return s.Child.Open(ctx) }
+
+// Next implements Operator.
+func (s *Select) Next(ctx *Context) (value.Row, bool, error) {
+	for {
+		r, ok, err := s.Child.Next(ctx)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		ctx.Counter.CPUTuples++
+		keep, err := expr.EvalBool(s.Pred, r)
+		if err != nil {
+			return nil, false, err
+		}
+		if keep {
+			return r, true, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (s *Select) Close(ctx *Context) error { return s.Child.Close(ctx) }
+
+// Project computes output expressions over each child row.
+type Project struct {
+	Child Operator
+	Exprs []expr.Expr
+	Out   *schema.Schema
+}
+
+// NewProject builds a projection with an explicit output schema.
+func NewProject(child Operator, exprs []expr.Expr, out *schema.Schema) *Project {
+	return &Project{Child: child, Exprs: exprs, Out: out}
+}
+
+// NewColumnProject projects the child onto the given column indexes.
+func NewColumnProject(child Operator, idx []int) *Project {
+	in := child.Schema()
+	exprs := make([]expr.Expr, len(idx))
+	for i, j := range idx {
+		exprs[i] = expr.NewCol(j, in.Col(j).QualifiedName())
+	}
+	return &Project{Child: child, Exprs: exprs, Out: in.Project(idx)}
+}
+
+// Schema implements Operator.
+func (p *Project) Schema() *schema.Schema { return p.Out }
+
+// Open implements Operator.
+func (p *Project) Open(ctx *Context) error { return p.Child.Open(ctx) }
+
+// Next implements Operator.
+func (p *Project) Next(ctx *Context) (value.Row, bool, error) {
+	r, ok, err := p.Child.Next(ctx)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	ctx.Counter.CPUTuples++
+	out := make(value.Row, len(p.Exprs))
+	for i, e := range p.Exprs {
+		v, err := e.Eval(r)
+		if err != nil {
+			return nil, false, err
+		}
+		out[i] = v
+	}
+	return out, true, nil
+}
+
+// Close implements Operator.
+func (p *Project) Close(ctx *Context) error { return p.Child.Close(ctx) }
+
+// Distinct removes duplicate rows with a hash set, charging one CPU
+// operation per input row. This is the operator behind ProjCost_F: the
+// distinct projection that produces the filter set.
+type Distinct struct {
+	Child Operator
+	seen  map[string]bool
+}
+
+// NewDistinct builds a hash-based duplicate eliminator.
+func NewDistinct(child Operator) *Distinct { return &Distinct{Child: child} }
+
+// Schema implements Operator.
+func (d *Distinct) Schema() *schema.Schema { return d.Child.Schema() }
+
+// Open implements Operator.
+func (d *Distinct) Open(ctx *Context) error {
+	d.seen = map[string]bool{}
+	return d.Child.Open(ctx)
+}
+
+// Next implements Operator.
+func (d *Distinct) Next(ctx *Context) (value.Row, bool, error) {
+	for {
+		r, ok, err := d.Child.Next(ctx)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		ctx.Counter.CPUTuples++
+		k := r.FullKey()
+		if d.seen[k] {
+			continue
+		}
+		d.seen[k] = true
+		return r, true, nil
+	}
+}
+
+// Close implements Operator.
+func (d *Distinct) Close(ctx *Context) error { return d.Child.Close(ctx) }
+
+// Sort materializes and sorts the child's rows on Open, charging CPU
+// proportional to n·log₂n comparisons.
+type Sort struct {
+	Child Operator
+	Keys  []int
+	Desc  []bool
+	rows  []value.Row
+	pos   int
+}
+
+// NewSort builds an in-memory sort on the given key columns.
+func NewSort(child Operator, keys []int, desc []bool) *Sort {
+	return &Sort{Child: child, Keys: keys, Desc: desc}
+}
+
+// Schema implements Operator.
+func (s *Sort) Schema() *schema.Schema { return s.Child.Schema() }
+
+// Open implements Operator.
+func (s *Sort) Open(ctx *Context) error {
+	rows, err := Drain(ctx, s.Child)
+	if err != nil {
+		return err
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		return value.CompareRows(rows[i], rows[j], s.Keys, s.Desc) < 0
+	})
+	// Charge n·ceil(log2 n) comparison operations.
+	n := len(rows)
+	if n > 1 {
+		lg := 0
+		for v := n - 1; v > 0; v >>= 1 {
+			lg++
+		}
+		ctx.Counter.CPUTuples += int64(n * lg)
+	}
+	s.rows = rows
+	s.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (s *Sort) Next(ctx *Context) (value.Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	ctx.Counter.CPUTuples++
+	return r, true, nil
+}
+
+// Close implements Operator.
+func (s *Sort) Close(*Context) error { return nil }
+
+// Limit passes through at most N rows.
+type Limit struct {
+	Child Operator
+	N     int
+	seen  int
+}
+
+// NewLimit builds a limit.
+func NewLimit(child Operator, n int) *Limit { return &Limit{Child: child, N: n} }
+
+// Schema implements Operator.
+func (l *Limit) Schema() *schema.Schema { return l.Child.Schema() }
+
+// Open implements Operator.
+func (l *Limit) Open(ctx *Context) error {
+	l.seen = 0
+	return l.Child.Open(ctx)
+}
+
+// Next implements Operator.
+func (l *Limit) Next(ctx *Context) (value.Row, bool, error) {
+	if l.seen >= l.N {
+		return nil, false, nil
+	}
+	r, ok, err := l.Child.Next(ctx)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	l.seen++
+	return r, true, nil
+}
+
+// Close implements Operator.
+func (l *Limit) Close(ctx *Context) error { return l.Child.Close(ctx) }
+
+// Materialize drains its child into a temporary table on first Open and
+// thereafter scans the temporary. The build charges page writes; every
+// scan (including the first) charges page reads. This is the operator
+// behind ProductionCost_P when the optimizer decides to materialize the
+// production set rather than recompute it.
+type Materialize struct {
+	Child Operator
+	Name  string
+	built *storage.Table
+	scan  *TableScan
+}
+
+// NewMaterialize builds a materialization point named name.
+func NewMaterialize(child Operator, name string) *Materialize {
+	return &Materialize{Child: child, Name: name}
+}
+
+// Schema implements Operator.
+func (m *Materialize) Schema() *schema.Schema { return m.Child.Schema() }
+
+// Open implements Operator.
+func (m *Materialize) Open(ctx *Context) error {
+	if m.built == nil {
+		t, err := MaterializeToTable(ctx, m.Child, m.Name)
+		if err != nil {
+			return err
+		}
+		m.built = t
+	}
+	m.scan = &TableScan{Table: m.built, alias: m.Child.Schema()}
+	return m.scan.Open(ctx)
+}
+
+// Next implements Operator.
+func (m *Materialize) Next(ctx *Context) (value.Row, bool, error) {
+	return m.scan.Next(ctx)
+}
+
+// Close implements Operator.
+func (m *Materialize) Close(ctx *Context) error {
+	if m.scan == nil {
+		return nil
+	}
+	return m.scan.Close(ctx)
+}
+
+// Built exposes the materialized table after the first Open (nil before).
+func (m *Materialize) Built() *storage.Table { return m.built }

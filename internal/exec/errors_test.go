@@ -1,0 +1,98 @@
+package exec
+
+import (
+	"testing"
+
+	"filterjoin/internal/expr"
+	"filterjoin/internal/schema"
+	"filterjoin/internal/value"
+)
+
+// badPred evaluates arithmetic over a string, which errors at runtime.
+func badPred() expr.Expr {
+	return expr.NewCmp(expr.GT,
+		expr.Arith{Op: expr.Add, L: expr.NewCol(0, "s"), R: expr.Int(1)},
+		expr.Int(0))
+}
+
+func TestSelectErrorPropagates(t *testing.T) {
+	tb := intTable(t, "t", []string{"a"}, [][]int64{{1}})
+	// Force a type error: compare a NOT over an int.
+	pred := expr.Not{Kid: expr.NewCol(0, "a")}
+	op := NewSelect(NewTableScan(tb, ""), pred)
+	ctx := NewContext()
+	if err := op.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := op.Next(ctx); err == nil {
+		t.Error("evaluation error must propagate through Select")
+	}
+}
+
+func TestProjectErrorPropagates(t *testing.T) {
+	tb := intTable(t, "t", []string{"a"}, [][]int64{{1}})
+	exprs := []expr.Expr{expr.Arith{Op: expr.Div, L: expr.NewCol(0, "a"), R: expr.Int(0)}}
+	op := NewProject(NewTableScan(tb, ""), exprs, tb.Schema())
+	ctx := NewContext()
+	if err := op.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := op.Next(ctx); err == nil {
+		t.Error("division by zero must propagate through Project")
+	}
+}
+
+func TestJoinResidualErrorPropagates(t *testing.T) {
+	lt := intTable(t, "l", []string{"k"}, [][]int64{{1}})
+	rt := intTable(t, "r", []string{"k"}, [][]int64{{1}})
+	// Residual NOT over an int errors.
+	res := expr.Not{Kid: expr.NewCol(0, "k")}
+	hj := NewHashJoin(NewTableScan(lt, "l"), NewTableScan(rt, "r"), []int{0}, []int{0}, res)
+	ctx := NewContext()
+	if err := hj.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := hj.Next(ctx); err == nil {
+		t.Error("residual error must propagate through HashJoin")
+	}
+
+	nl := NewNestedLoopJoin(NewTableScan(lt, "l"), NewTableScan(rt, "r"), res)
+	if err := nl.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := nl.Next(ctx); err == nil {
+		t.Error("predicate error must propagate through NestedLoopJoin")
+	}
+}
+
+func TestGroupByAggErrorPropagates(t *testing.T) {
+	s := intTable(t, "t", []string{"g"}, [][]int64{{1}})
+	_ = s
+	// SUM over a string column errors during Open (build phase).
+	strTable := NewValues(
+		schemaOf(t),
+		[]value.Row{{value.NewString("x")}},
+	)
+	g := NewGroupBy(strTable, nil, []expr.AggSpec{
+		{Kind: expr.AggSum, Arg: expr.NewCol(0, "s"), Name: "s"},
+	})
+	ctx := NewContext()
+	if err := g.Open(ctx); err == nil {
+		t.Error("SUM over strings must error at Open")
+	}
+}
+
+func TestSortChildErrorPropagates(t *testing.T) {
+	bad := NewSelect(NewValues(schemaOf(t), []value.Row{{value.NewString("x")}}), badPred())
+	s := NewSort(bad, []int{0}, nil)
+	ctx := NewContext()
+	if err := s.Open(ctx); err == nil {
+		t.Error("child error must propagate through Sort's materialization")
+	}
+}
+
+// schemaOf returns a one-string-column schema for error fixtures.
+func schemaOf(t *testing.T) *schema.Schema {
+	t.Helper()
+	return schema.New(schema.Column{Name: "s", Type: value.KindString})
+}

@@ -1,0 +1,155 @@
+// Package exec implements the Volcano-style (Open/Next/Close) iterator
+// executor. Every operator charges its resource consumption — page reads
+// and writes, per-tuple CPU work, network traffic, function invocations —
+// against the cost.Counter in the execution Context, so any plan's true
+// cost can be measured and compared with the optimizer's estimate.
+//
+// Conventions:
+//   - Base-table scans charge one page read per page crossed.
+//   - In-memory operations (hashing, comparing, copying a tuple) charge
+//     CPU tuple operations.
+//   - Materialization charges page writes on build and page reads on
+//     subsequent scans.
+//   - Operators are restartable: Open resets all state, so nested-loops
+//     joins may re-Open their inner arbitrarily often.
+package exec
+
+import (
+	"fmt"
+
+	"filterjoin/internal/cost"
+	"filterjoin/internal/schema"
+	"filterjoin/internal/storage"
+	"filterjoin/internal/value"
+)
+
+// Context carries per-execution state: the cost counter every operator
+// charges, and tunables.
+type Context struct {
+	Counter *cost.Counter
+}
+
+// NewContext returns a context with a fresh counter.
+func NewContext() *Context {
+	return &Context{Counter: &cost.Counter{}}
+}
+
+// Operator is a restartable row iterator.
+type Operator interface {
+	// Schema describes the rows the operator produces.
+	Schema() *schema.Schema
+	// Open (re)initializes the operator. It must be callable repeatedly.
+	Open(ctx *Context) error
+	// Next returns the next row. ok is false at end of stream.
+	Next(ctx *Context) (row value.Row, ok bool, err error)
+	// Close releases resources. Close after Close is a no-op.
+	Close(ctx *Context) error
+}
+
+// Drain opens op, pulls every row, closes it, and returns the rows.
+func Drain(ctx *Context, op Operator) ([]value.Row, error) {
+	if err := op.Open(ctx); err != nil {
+		return nil, err
+	}
+	var rows []value.Row
+	for {
+		r, ok, err := op.Next(ctx)
+		if err != nil {
+			op.Close(ctx)
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		rows = append(rows, r)
+	}
+	if err := op.Close(ctx); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// Count drains op and returns only the row count.
+func Count(ctx *Context, op Operator) (int, error) {
+	if err := op.Open(ctx); err != nil {
+		return 0, err
+	}
+	n := 0
+	for {
+		_, ok, err := op.Next(ctx)
+		if err != nil {
+			op.Close(ctx)
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	return n, op.Close(ctx)
+}
+
+// MaterializeToTable drains op into a fresh storage table named name,
+// charging one page write per page produced.
+func MaterializeToTable(ctx *Context, op Operator, name string) (*storage.Table, error) {
+	rows, err := Drain(ctx, op)
+	if err != nil {
+		return nil, err
+	}
+	t := storage.FromRows(name, op.Schema(), rows)
+	ctx.Counter.PageWrites += int64(t.NumPages())
+	return t, nil
+}
+
+// errOp wraps a construction-time error so that builders can defer error
+// reporting to Open.
+type errOp struct {
+	s   *schema.Schema
+	err error
+}
+
+// Error returns an operator that fails at Open with err.
+func Error(s *schema.Schema, err error) Operator { return &errOp{s: s, err: err} }
+
+func (e *errOp) Schema() *schema.Schema { return e.s }
+func (e *errOp) Open(*Context) error    { return e.err }
+func (e *errOp) Next(*Context) (value.Row, bool, error) {
+	return nil, false, fmt.Errorf("exec: Next on failed operator: %w", e.err)
+}
+func (e *errOp) Close(*Context) error { return nil }
+
+// Values is a leaf operator over in-memory rows that charges CPU only
+// (used for pipelined intermediate results and tests).
+type Values struct {
+	Sch  *schema.Schema
+	Rows []value.Row
+	pos  int
+}
+
+// NewValues builds a Values operator.
+func NewValues(s *schema.Schema, rows []value.Row) *Values {
+	return &Values{Sch: s, Rows: rows}
+}
+
+// Schema implements Operator.
+func (v *Values) Schema() *schema.Schema { return v.Sch }
+
+// Open implements Operator.
+func (v *Values) Open(*Context) error {
+	v.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (v *Values) Next(ctx *Context) (value.Row, bool, error) {
+	if v.pos >= len(v.Rows) {
+		return nil, false, nil
+	}
+	r := v.Rows[v.pos]
+	v.pos++
+	ctx.Counter.CPUTuples++
+	return r, true, nil
+}
+
+// Close implements Operator.
+func (v *Values) Close(*Context) error { return nil }

@@ -1,0 +1,193 @@
+package exec
+
+import (
+	"filterjoin/internal/bloom"
+	"filterjoin/internal/schema"
+	"filterjoin/internal/value"
+)
+
+// KeySet is an exact in-memory filter set: the distinct projection of the
+// production set onto the join attributes (the paper's "filter set F",
+// classically the "magic set").
+type KeySet struct {
+	keys  map[string]bool
+	rows  []value.Row
+	width int
+}
+
+// NewKeySet creates an empty key set for keys of the given width.
+func NewKeySet(width int) *KeySet {
+	return &KeySet{keys: map[string]bool{}, width: width}
+}
+
+// BuildKeySet drains op, projecting each row onto keyIdx, and returns the
+// distinct key set. One CPU operation is charged per input row.
+func BuildKeySet(ctx *Context, op Operator, keyIdx []int) (*KeySet, error) {
+	ks := NewKeySet(len(keyIdx))
+	if err := op.Open(ctx); err != nil {
+		return nil, err
+	}
+	for {
+		r, ok, err := op.Next(ctx)
+		if err != nil {
+			op.Close(ctx)
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		ctx.Counter.CPUTuples++
+		ks.Add(r.Project(keyIdx))
+	}
+	return ks, op.Close(ctx)
+}
+
+// Add inserts a key row.
+func (s *KeySet) Add(key value.Row) {
+	k := key.FullKey()
+	if s.keys[k] {
+		return
+	}
+	s.keys[k] = true
+	s.rows = append(s.rows, key)
+}
+
+// Contains tests membership of the projection of r onto keyIdx.
+func (s *KeySet) Contains(r value.Row, keyIdx []int) bool {
+	return s.keys[r.Key(keyIdx)]
+}
+
+// Len returns the number of distinct keys.
+func (s *KeySet) Len() int { return len(s.rows) }
+
+// Rows returns the distinct key rows (do not mutate).
+func (s *KeySet) Rows() []value.Row { return s.rows }
+
+// SizeBytes returns the nominal wire size of the set when shipped:
+// 8 bytes per key column per key.
+func (s *KeySet) SizeBytes() int { return len(s.rows) * s.width * 8 }
+
+// ToBloom converts the exact set into a Bloom filter with the given
+// bits-per-entry budget; keyIdx identifies the key columns a probe row
+// will be projected on (the filter itself stores only hashes).
+func (s *KeySet) ToBloom(bitsPerEntry float64, keyIdx []int) *bloom.Filter {
+	f := bloom.New(len(s.rows), bitsPerEntry, keyIdx)
+	for _, r := range s.rows {
+		f.AddKey(r)
+	}
+	return f
+}
+
+// KeySetFilter passes through child rows whose key columns appear in the
+// set. It charges one CPU operation per tested row. This operator is the
+// local-processing half of a semi-join: the inner relation restricted by
+// the filter set.
+type KeySetFilter struct {
+	Child  Operator
+	Set    *KeySet
+	KeyIdx []int
+}
+
+// NewKeySetFilter builds an exact filter-set restriction.
+func NewKeySetFilter(child Operator, set *KeySet, keyIdx []int) *KeySetFilter {
+	return &KeySetFilter{Child: child, Set: set, KeyIdx: keyIdx}
+}
+
+// Schema implements Operator.
+func (f *KeySetFilter) Schema() *schema.Schema { return f.Child.Schema() }
+
+// Open implements Operator.
+func (f *KeySetFilter) Open(ctx *Context) error { return f.Child.Open(ctx) }
+
+// Next implements Operator.
+func (f *KeySetFilter) Next(ctx *Context) (value.Row, bool, error) {
+	for {
+		r, ok, err := f.Child.Next(ctx)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		ctx.Counter.CPUTuples++
+		if f.Set.Contains(r, f.KeyIdx) {
+			return r, true, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (f *KeySetFilter) Close(ctx *Context) error { return f.Child.Close(ctx) }
+
+// BloomFilterScan passes through child rows that the Bloom filter may
+// contain — the lossy filter-set variant. False positives let extra rows
+// through; downstream joins remain correct because the final join
+// re-checks the join predicate.
+type BloomFilterScan struct {
+	Child  Operator
+	Filter *bloom.Filter
+	KeyIdx []int
+}
+
+// NewBloomFilterScan builds a lossy filter-set restriction.
+func NewBloomFilterScan(child Operator, f *bloom.Filter, keyIdx []int) *BloomFilterScan {
+	return &BloomFilterScan{Child: child, Filter: f, KeyIdx: keyIdx}
+}
+
+// Schema implements Operator.
+func (b *BloomFilterScan) Schema() *schema.Schema { return b.Child.Schema() }
+
+// Open implements Operator.
+func (b *BloomFilterScan) Open(ctx *Context) error { return b.Child.Open(ctx) }
+
+// Next implements Operator.
+func (b *BloomFilterScan) Next(ctx *Context) (value.Row, bool, error) {
+	for {
+		r, ok, err := b.Child.Next(ctx)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		ctx.Counter.CPUTuples++
+		if b.Filter.MayContain(r, b.KeyIdx) {
+			return r, true, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (b *BloomFilterScan) Close(ctx *Context) error { return b.Child.Close(ctx) }
+
+// KeySetScan exposes a KeySet as a leaf operator so the filter set can be
+// joined into a view body (the magic-rewrite "Filter" view of Fig 2).
+type KeySetScan struct {
+	Set *KeySet
+	Sch *schema.Schema
+	pos int
+}
+
+// NewKeySetScan builds a scan over the distinct keys with the given schema
+// (one column per key attribute).
+func NewKeySetScan(set *KeySet, sch *schema.Schema) *KeySetScan {
+	return &KeySetScan{Set: set, Sch: sch}
+}
+
+// Schema implements Operator.
+func (k *KeySetScan) Schema() *schema.Schema { return k.Sch }
+
+// Open implements Operator.
+func (k *KeySetScan) Open(*Context) error {
+	k.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (k *KeySetScan) Next(ctx *Context) (value.Row, bool, error) {
+	rows := k.Set.Rows()
+	if k.pos >= len(rows) {
+		return nil, false, nil
+	}
+	r := rows[k.pos]
+	k.pos++
+	ctx.Counter.CPUTuples++
+	return r, true, nil
+}
+
+// Close implements Operator.
+func (k *KeySetScan) Close(*Context) error { return nil }

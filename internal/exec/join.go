@@ -1,0 +1,429 @@
+package exec
+
+import (
+	"filterjoin/internal/expr"
+	"filterjoin/internal/schema"
+	"filterjoin/internal/storage"
+	"filterjoin/internal/value"
+)
+
+// NestedLoopJoin is the general theta join: for every outer row the inner
+// is re-opened and fully consumed, with the (optional) predicate evaluated
+// against the concatenated row. Because the inner's own operators re-charge
+// their costs on every re-open, this operator naturally exhibits the
+// quadratic I/O behaviour the optimizer's NL cost formula describes.
+type NestedLoopJoin struct {
+	Outer, Inner Operator
+	Pred         expr.Expr // bound against Outer.Schema().Concat(Inner.Schema()); may be nil
+	out          *schema.Schema
+	cur          value.Row
+	innerOpen    bool
+	done         bool
+}
+
+// NewNestedLoopJoin builds a nested-loops join.
+func NewNestedLoopJoin(outer, inner Operator, pred expr.Expr) *NestedLoopJoin {
+	return &NestedLoopJoin{
+		Outer: outer,
+		Inner: inner,
+		Pred:  pred,
+		out:   outer.Schema().Concat(inner.Schema()),
+	}
+}
+
+// Schema implements Operator.
+func (j *NestedLoopJoin) Schema() *schema.Schema { return j.out }
+
+// Open implements Operator.
+func (j *NestedLoopJoin) Open(ctx *Context) error {
+	j.cur = nil
+	j.innerOpen = false
+	j.done = false
+	return j.Outer.Open(ctx)
+}
+
+// Next implements Operator.
+func (j *NestedLoopJoin) Next(ctx *Context) (value.Row, bool, error) {
+	if j.done {
+		return nil, false, nil
+	}
+	for {
+		if j.cur == nil {
+			r, ok, err := j.Outer.Next(ctx)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				j.done = true
+				return nil, false, nil
+			}
+			j.cur = r
+			if err := j.Inner.Open(ctx); err != nil {
+				return nil, false, err
+			}
+			j.innerOpen = true
+		}
+		ir, ok, err := j.Inner.Next(ctx)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			if err := j.Inner.Close(ctx); err != nil {
+				return nil, false, err
+			}
+			j.innerOpen = false
+			j.cur = nil
+			continue
+		}
+		ctx.Counter.CPUTuples++
+		joined := j.cur.Concat(ir)
+		if j.Pred != nil {
+			keep, err := expr.EvalBool(j.Pred, joined)
+			if err != nil {
+				return nil, false, err
+			}
+			if !keep {
+				continue
+			}
+		}
+		return joined, true, nil
+	}
+}
+
+// Close implements Operator.
+func (j *NestedLoopJoin) Close(ctx *Context) error {
+	if j.innerOpen {
+		if err := j.Inner.Close(ctx); err != nil {
+			return err
+		}
+		j.innerOpen = false
+	}
+	return j.Outer.Close(ctx)
+}
+
+// HashJoin builds a hash table over the left input's key columns on Open,
+// then streams the right input, probing per row. An optional residual
+// predicate is evaluated against left‖right. The build and each probe
+// charge one CPU operation per row.
+type HashJoin struct {
+	Left, Right         Operator // Left is the build side
+	LeftKeys, RightKeys []int
+	Residual            expr.Expr // bound against the emitted layout
+	// EmitProbeFirst emits probe‖build (right‖left) instead of the default
+	// build‖probe layout; the optimizer uses it to keep the "outer columns
+	// first" convention while building on the inner.
+	EmitProbeFirst bool
+	out            *schema.Schema
+	table          map[string][]value.Row
+	probe          value.Row
+	bucket         []value.Row
+	bpos           int
+}
+
+// NewHashJoin builds a hash equi-join; left is the build side and the
+// output layout is left‖right. Residual is bound against that layout.
+func NewHashJoin(left, right Operator, leftKeys, rightKeys []int, residual expr.Expr) *HashJoin {
+	return &HashJoin{
+		Left:      left,
+		Right:     right,
+		LeftKeys:  leftKeys,
+		RightKeys: rightKeys,
+		Residual:  residual,
+		out:       left.Schema().Concat(right.Schema()),
+	}
+}
+
+// NewHashJoinProbeFirst builds a hash equi-join that still builds on
+// left but emits right‖left. Residual is bound against that layout.
+func NewHashJoinProbeFirst(left, right Operator, leftKeys, rightKeys []int, residual expr.Expr) *HashJoin {
+	return &HashJoin{
+		Left:           left,
+		Right:          right,
+		LeftKeys:       leftKeys,
+		RightKeys:      rightKeys,
+		Residual:       residual,
+		EmitProbeFirst: true,
+		out:            right.Schema().Concat(left.Schema()),
+	}
+}
+
+// Schema implements Operator.
+func (j *HashJoin) Schema() *schema.Schema { return j.out }
+
+// Open implements Operator.
+func (j *HashJoin) Open(ctx *Context) error {
+	j.table = map[string][]value.Row{}
+	j.probe = nil
+	j.bucket = nil
+	j.bpos = 0
+	rows, err := Drain(ctx, j.Left)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		ctx.Counter.CPUTuples++
+		k := r.Key(j.LeftKeys)
+		j.table[k] = append(j.table[k], r)
+	}
+	return j.Right.Open(ctx)
+}
+
+// Next implements Operator.
+func (j *HashJoin) Next(ctx *Context) (value.Row, bool, error) {
+	for {
+		for j.bpos < len(j.bucket) {
+			l := j.bucket[j.bpos]
+			j.bpos++
+			ctx.Counter.CPUTuples++
+			var joined value.Row
+			if j.EmitProbeFirst {
+				joined = j.probe.Concat(l)
+			} else {
+				joined = l.Concat(j.probe)
+			}
+			if j.Residual != nil {
+				keep, err := expr.EvalBool(j.Residual, joined)
+				if err != nil {
+					return nil, false, err
+				}
+				if !keep {
+					continue
+				}
+			}
+			return joined, true, nil
+		}
+		r, ok, err := j.Right.Next(ctx)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		ctx.Counter.CPUTuples++
+		j.probe = r
+		j.bucket = j.table[r.Key(j.RightKeys)]
+		j.bpos = 0
+	}
+}
+
+// Close implements Operator.
+func (j *HashJoin) Close(ctx *Context) error {
+	j.table = nil
+	return j.Right.Close(ctx)
+}
+
+// MergeJoin equi-joins two inputs that it sorts on Open (charging sort
+// CPU), then merges, handling duplicate key groups on both sides.
+type MergeJoin struct {
+	Left, Right         Operator
+	LeftKeys, RightKeys []int
+	Residual            expr.Expr
+	out                 *schema.Schema
+
+	lrows, rrows []value.Row
+	li, ri       int
+	groupL       []value.Row // current left key group
+	groupRStart  int
+	gi, gj       int
+	inGroup      bool
+}
+
+// NewMergeJoin builds a sort-merge equi-join.
+func NewMergeJoin(left, right Operator, leftKeys, rightKeys []int, residual expr.Expr) *MergeJoin {
+	return &MergeJoin{
+		Left:      left,
+		Right:     right,
+		LeftKeys:  leftKeys,
+		RightKeys: rightKeys,
+		Residual:  residual,
+		out:       left.Schema().Concat(right.Schema()),
+	}
+}
+
+// Schema implements Operator.
+func (j *MergeJoin) Schema() *schema.Schema { return j.out }
+
+// Open implements Operator.
+func (j *MergeJoin) Open(ctx *Context) error {
+	ls := NewSort(j.Left, j.LeftKeys, nil)
+	rs := NewSort(j.Right, j.RightKeys, nil)
+	var err error
+	j.lrows, err = Drain(ctx, ls)
+	if err != nil {
+		return err
+	}
+	j.rrows, err = Drain(ctx, rs)
+	if err != nil {
+		return err
+	}
+	j.li, j.ri = 0, 0
+	j.inGroup = false
+	return nil
+}
+
+func keyCompare(a, b value.Row, ak, bk []int) int {
+	for i := range ak {
+		c := value.Compare(a[ak[i]], b[bk[i]])
+		if c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// Next implements Operator.
+func (j *MergeJoin) Next(ctx *Context) (value.Row, bool, error) {
+	for {
+		if j.inGroup {
+			if j.gi < len(j.groupL) {
+				rIdx := j.groupRStart + j.gj
+				if rIdx < len(j.rrows) && keyCompare(j.groupL[0], j.rrows[rIdx], j.LeftKeys, j.RightKeys) == 0 {
+					ctx.Counter.CPUTuples++
+					joined := j.groupL[j.gi].Concat(j.rrows[rIdx])
+					j.gj++
+					if j.Residual != nil {
+						keep, err := expr.EvalBool(j.Residual, joined)
+						if err != nil {
+							return nil, false, err
+						}
+						if !keep {
+							continue
+						}
+					}
+					return joined, true, nil
+				}
+				// Exhausted right group for this left row; advance left row.
+				j.gi++
+				j.gj = 0
+				continue
+			}
+			// Group done: move right cursor past the group, leave left as is.
+			for j.groupRStart < len(j.rrows) &&
+				keyCompare(j.groupL[0], j.rrows[j.groupRStart], j.LeftKeys, j.RightKeys) == 0 {
+				j.groupRStart++
+			}
+			j.ri = j.groupRStart
+			j.inGroup = false
+		}
+		if j.li >= len(j.lrows) || j.ri >= len(j.rrows) {
+			return nil, false, nil
+		}
+		ctx.Counter.CPUTuples++
+		c := keyCompare(j.lrows[j.li], j.rrows[j.ri], j.LeftKeys, j.RightKeys)
+		switch {
+		case c < 0:
+			j.li++
+		case c > 0:
+			j.ri++
+		default:
+			// Collect the left group sharing this key.
+			start := j.li
+			for j.li < len(j.lrows) &&
+				keyCompare(j.lrows[start], j.lrows[j.li], j.LeftKeys, j.LeftKeys) == 0 {
+				j.li++
+			}
+			j.groupL = j.lrows[start:j.li]
+			j.groupRStart = j.ri
+			j.gi, j.gj = 0, 0
+			j.inGroup = true
+		}
+	}
+}
+
+// Close implements Operator.
+func (j *MergeJoin) Close(*Context) error {
+	j.lrows, j.rrows = nil, nil
+	return nil
+}
+
+// IndexNLJoin drives an index-nested-loops join: for every outer row it
+// probes a hash index on the inner stored table. Each probe charges one
+// page read (the index) plus one page read per distinct data page holding
+// matches. This is the "repeated probe" row of the paper's Fig 6 taxonomy
+// for stored relations.
+type IndexNLJoin struct {
+	Outer       Operator
+	Table       *storage.Table
+	Index       *storage.HashIndex
+	OuterKeyIdx []int     // key columns within the outer row, aligned with Index.Cols()
+	Residual    expr.Expr // bound against Outer.Schema().Concat(inner schema)
+	InnerAlias  string
+	out         *schema.Schema
+	innerSch    *schema.Schema
+	cur         value.Row
+	ids         []int
+	pos         int
+	done        bool
+}
+
+// NewIndexNLJoin builds an index nested-loops join.
+func NewIndexNLJoin(outer Operator, t *storage.Table, ix *storage.HashIndex, outerKeyIdx []int, residual expr.Expr, innerAlias string) *IndexNLJoin {
+	is := t.Schema()
+	if innerAlias != "" {
+		is = is.Rename(innerAlias)
+	}
+	return &IndexNLJoin{
+		Outer:       outer,
+		Table:       t,
+		Index:       ix,
+		OuterKeyIdx: outerKeyIdx,
+		Residual:    residual,
+		InnerAlias:  innerAlias,
+		innerSch:    is,
+		out:         outer.Schema().Concat(is),
+	}
+}
+
+// Schema implements Operator.
+func (j *IndexNLJoin) Schema() *schema.Schema { return j.out }
+
+// Open implements Operator.
+func (j *IndexNLJoin) Open(ctx *Context) error {
+	j.cur = nil
+	j.ids = nil
+	j.pos = 0
+	j.done = false
+	return j.Outer.Open(ctx)
+}
+
+// Next implements Operator.
+func (j *IndexNLJoin) Next(ctx *Context) (value.Row, bool, error) {
+	if j.done {
+		return nil, false, nil
+	}
+	for {
+		if j.cur == nil {
+			r, ok, err := j.Outer.Next(ctx)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				j.done = true
+				return nil, false, nil
+			}
+			j.cur = r
+			ctx.Counter.PageReads++ // index probe
+			j.ids = j.Index.LookupRow(r, j.OuterKeyIdx)
+			ctx.Counter.PageReads += int64(storage.ProbePages(j.ids, j.Table.RowsPerPage()))
+			j.pos = 0
+		}
+		if j.pos >= len(j.ids) {
+			j.cur = nil
+			continue
+		}
+		inner := j.Table.Row(j.ids[j.pos])
+		j.pos++
+		ctx.Counter.CPUTuples++
+		joined := j.cur.Concat(inner)
+		if j.Residual != nil {
+			keep, err := expr.EvalBool(j.Residual, joined)
+			if err != nil {
+				return nil, false, err
+			}
+			if !keep {
+				continue
+			}
+		}
+		return joined, true, nil
+	}
+}
+
+// Close implements Operator.
+func (j *IndexNLJoin) Close(ctx *Context) error { return j.Outer.Close(ctx) }

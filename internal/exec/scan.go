@@ -1,0 +1,100 @@
+package exec
+
+import (
+	"filterjoin/internal/schema"
+	"filterjoin/internal/storage"
+	"filterjoin/internal/value"
+)
+
+// TableScan is a full sequential scan of a stored table. It charges one
+// page read each time the scan crosses onto a new page and one CPU tuple
+// operation per row produced.
+type TableScan struct {
+	Table *storage.Table
+	alias *schema.Schema // schema possibly re-qualified with an alias
+	pos   int
+}
+
+// NewTableScan builds a scan. If alias is non-empty the output schema is
+// re-qualified with it (FROM Emp E).
+func NewTableScan(t *storage.Table, alias string) *TableScan {
+	s := t.Schema()
+	if alias != "" {
+		s = s.Rename(alias)
+	}
+	return &TableScan{Table: t, alias: s}
+}
+
+// Schema implements Operator.
+func (s *TableScan) Schema() *schema.Schema { return s.alias }
+
+// Open implements Operator.
+func (s *TableScan) Open(*Context) error {
+	s.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (s *TableScan) Next(ctx *Context) (value.Row, bool, error) {
+	if s.pos >= s.Table.NumRows() {
+		return nil, false, nil
+	}
+	if s.pos%s.Table.RowsPerPage() == 0 {
+		ctx.Counter.PageReads++
+	}
+	r := s.Table.Row(s.pos)
+	s.pos++
+	ctx.Counter.CPUTuples++
+	return r, true, nil
+}
+
+// Close implements Operator.
+func (s *TableScan) Close(*Context) error { return nil }
+
+// IndexLookup scans the rows of a table matching one key via a hash
+// index. Each Open charges one page read for the index probe plus one
+// page read per distinct data page holding matches (unclustered index
+// model).
+type IndexLookup struct {
+	Table *storage.Table
+	Index *storage.HashIndex
+	Key   value.Row
+	sch   *schema.Schema
+	ids   []int
+	pos   int
+}
+
+// NewIndexLookup builds an index lookup for a fixed key.
+func NewIndexLookup(t *storage.Table, ix *storage.HashIndex, key value.Row, alias string) *IndexLookup {
+	s := t.Schema()
+	if alias != "" {
+		s = s.Rename(alias)
+	}
+	return &IndexLookup{Table: t, Index: ix, Key: key, sch: s}
+}
+
+// Schema implements Operator.
+func (l *IndexLookup) Schema() *schema.Schema { return l.sch }
+
+// Open implements Operator.
+func (l *IndexLookup) Open(ctx *Context) error {
+	ctx.Counter.PageReads++ // index probe
+	l.ids = l.Index.Lookup(l.Key)
+	ctx.Counter.PageReads += int64(storage.ProbePages(l.ids, l.Table.RowsPerPage()))
+	l.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (l *IndexLookup) Next(ctx *Context) (value.Row, bool, error) {
+	if l.pos >= len(l.ids) {
+		return nil, false, nil
+	}
+	r := l.Table.Row(l.ids[l.pos])
+	l.pos++
+	ctx.Counter.CPUTuples++
+	return r, true, nil
+}
+
+// Close implements Operator.
+func (l *IndexLookup) Close(*Context) error { return nil }

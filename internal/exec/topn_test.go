@@ -1,0 +1,82 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopNBasic(t *testing.T) {
+	rows := [][]int64{{5}, {1}, {9}, {3}, {7}}
+	tb := intTable(t, "t", []string{"a"}, rows)
+	top := NewTopN(NewTableScan(tb, ""), 3, []int{0}, nil)
+	got, _ := drain(t, top)
+	if len(got) != 3 {
+		t.Fatalf("rows = %d", len(got))
+	}
+	want := []int64{1, 3, 5}
+	for i, r := range got {
+		if r[0].Int() != want[i] {
+			t.Fatalf("TopN = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTopNDescending(t *testing.T) {
+	rows := [][]int64{{5}, {1}, {9}, {3}, {7}}
+	tb := intTable(t, "t", []string{"a"}, rows)
+	top := NewTopN(NewTableScan(tb, ""), 2, []int{0}, []bool{true})
+	got, _ := drain(t, top)
+	if got[0][0].Int() != 9 || got[1][0].Int() != 7 {
+		t.Fatalf("descending TopN = %v", got)
+	}
+}
+
+func TestTopNLargerThanInput(t *testing.T) {
+	tb := intTable(t, "t", []string{"a"}, [][]int64{{2}, {1}})
+	top := NewTopN(NewTableScan(tb, ""), 10, []int{0}, nil)
+	got, _ := drain(t, top)
+	if len(got) != 2 || got[0][0].Int() != 1 {
+		t.Fatalf("TopN over short input = %v", got)
+	}
+}
+
+// TestTopNMatchesSortLimitProperty: TopN must equal Sort followed by
+// Limit on every input.
+func TestTopNMatchesSortLimitProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%20
+		count := 1 + rng.Intn(200)
+		rows := make([][]int64, count)
+		for i := range rows {
+			rows[i] = []int64{int64(rng.Intn(50)), int64(rng.Intn(100))}
+		}
+		tb := intTable(t, "t", []string{"a", "b"}, rows)
+		desc := []bool{rng.Intn(2) == 0, rng.Intn(2) == 0}
+		keys := []int{0, 1}
+
+		top := NewTopN(NewTableScan(tb, ""), n, keys, desc)
+		gotTop, _ := drain(t, top)
+
+		sl := NewLimit(NewSort(NewTableScan(tb, ""), keys, desc), n)
+		gotSL, _ := drain(t, sl)
+
+		if len(gotTop) != len(gotSL) {
+			return false
+		}
+		for i := range gotTop {
+			// Key columns must agree positionally; non-key ties may permute,
+			// so compare the sort keys only.
+			for k := range keys {
+				if gotTop[i][keys[k]].Int() != gotSL[i][keys[k]].Int() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,62 @@
+package expr
+
+// Remap rewrites every column reference in e through the mapping m, where
+// m[oldIdx] is the new index (or -1 when the column is unavailable, which
+// surfaces as an out-of-range error at evaluation time). The optimizer
+// stores predicates in the query block's global column layout and remaps
+// them into each physical plan's actual output layout.
+func Remap(e Expr, m []int) Expr {
+	switch p := e.(type) {
+	case Col:
+		ni := -1
+		if p.Idx >= 0 && p.Idx < len(m) {
+			ni = m[p.Idx]
+		}
+		return Col{Idx: ni, Name: p.Name}
+	case Lit:
+		return p
+	case Cmp:
+		return Cmp{Op: p.Op, L: Remap(p.L, m), R: Remap(p.R, m)}
+	case And:
+		kids := make([]Expr, len(p.Kids))
+		for i, k := range p.Kids {
+			kids[i] = Remap(k, m)
+		}
+		return And{Kids: kids}
+	case Or:
+		kids := make([]Expr, len(p.Kids))
+		for i, k := range p.Kids {
+			kids[i] = Remap(k, m)
+		}
+		return Or{Kids: kids}
+	case Not:
+		return Not{Kid: Remap(p.Kid, m)}
+	case Arith:
+		return Arith{Op: p.Op, L: Remap(p.L, m), R: Remap(p.R, m)}
+	default:
+		return e
+	}
+}
+
+// RemapAgg rewrites an aggregate spec's argument through m.
+func RemapAgg(a AggSpec, m []int) AggSpec {
+	out := a
+	if a.Arg != nil {
+		out.Arg = Remap(a.Arg, m)
+	}
+	return out
+}
+
+// Mappable reports whether every column e references has a non-negative
+// image under m, i.e. the expression can be evaluated against the layout
+// m maps into.
+func Mappable(e Expr, m []int) bool {
+	cols := map[int]bool{}
+	e.CollectCols(cols)
+	for c := range cols {
+		if c < 0 || c >= len(m) || m[c] < 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,715 @@
+package opt
+
+import (
+	"fmt"
+
+	"filterjoin/internal/catalog"
+	"filterjoin/internal/cost"
+	"filterjoin/internal/dist"
+	"filterjoin/internal/exec"
+	"filterjoin/internal/expr"
+	"filterjoin/internal/plan"
+	"filterjoin/internal/query"
+	"filterjoin/internal/schema"
+	"filterjoin/internal/stats"
+	"filterjoin/internal/storage"
+	"filterjoin/internal/value"
+)
+
+// RelInfo is the optimizer's per-relation working state for one block.
+type RelInfo struct {
+	Index  int
+	Ref    query.RelRef
+	Entry  *catalog.Entry
+	Schema *schema.Schema // alias-qualified
+	Offset int            // start of this relation's columns in the block layout
+	Width  int
+
+	// ColMap maps block layout columns to this relation's own column
+	// positions (-1 for columns of other relations).
+	ColMap []int
+
+	// Access is the best leaf plan: scan (+ local predicates), shipped
+	// remote scan, or fully computed view. It is nil for function-backed
+	// relations, which can only be reached through probe-style joins.
+	Access *plan.Node
+
+	RawStats      *stats.RelStats // before local predicates
+	FilteredStats *stats.RelStats // after local predicates
+	FilteredRows  float64
+	LocalSel      float64
+	LocalPred     expr.Expr // conjunction in block layout; nil if none
+}
+
+// PredInfo is one WHERE conjunct with its referenced relation set and,
+// when it is a simple cross-relation equality, the two column sides.
+type PredInfo struct {
+	Expr  expr.Expr
+	Rels  query.RelSet
+	EquiL int // block column, -1 unless simple equi join pred
+	EquiR int
+	// Class identifies the equality equivalence class the predicate's
+	// columns belong to (-1 for non-equi predicates). Derived marks
+	// predicates added by transitive closure (a=b ∧ b=c ⊢ a=c); they
+	// enable additional join orders but only one predicate per class
+	// counts toward join selectivity.
+	Class   int
+	Derived bool
+}
+
+// Ctx is the per-block optimization context handed to join methods.
+type Ctx struct {
+	O      *Optimizer
+	Block  *query.Block
+	Layout *query.Layout
+	Rels   []*RelInfo
+	Preds  []*PredInfo
+}
+
+func (o *Optimizer) newCtx(b *query.Block) (*Ctx, error) {
+	layout, err := b.Layout(o.Cat)
+	if err != nil {
+		return nil, err
+	}
+	if err := validateBlock(b, layout); err != nil {
+		return nil, err
+	}
+	ctx := &Ctx{O: o, Block: b, Layout: layout}
+
+	// Classify predicates.
+	for _, p := range b.Preds {
+		pi := &PredInfo{Expr: p, Rels: query.PredRels(p, layout), EquiL: -1, EquiR: -1, Class: -1}
+		if c, ok := p.(expr.Cmp); ok && c.Op == expr.EQ {
+			lc, lok := c.L.(expr.Col)
+			rc, rok := c.R.(expr.Col)
+			if lok && rok {
+				lr, rr := layout.RelOfCol(lc.Idx), layout.RelOfCol(rc.Idx)
+				if lr >= 0 && rr >= 0 && lr != rr {
+					pi.EquiL, pi.EquiR = lc.Idx, rc.Idx
+				}
+			}
+		}
+		ctx.Preds = append(ctx.Preds, pi)
+	}
+	ctx.closeEquiClasses()
+
+	// Build per-relation info and leaf access plans.
+	for i, ref := range b.Rels {
+		ri, err := o.buildRelInfo(ctx, i, ref)
+		if err != nil {
+			return nil, err
+		}
+		ctx.Rels = append(ctx.Rels, ri)
+	}
+	return ctx, nil
+}
+
+func (o *Optimizer) buildRelInfo(ctx *Ctx, i int, ref query.RelRef) (*RelInfo, error) {
+	entry, err := o.Cat.Get(ref.Name)
+	if err != nil {
+		return nil, err
+	}
+	sch, err := entry.Schema(o.Cat)
+	if err != nil {
+		return nil, err
+	}
+	sch = sch.Rename(ref.Binding())
+	ri := &RelInfo{
+		Index:  i,
+		Ref:    ref,
+		Entry:  entry,
+		Schema: sch,
+		Offset: ctx.Layout.Offsets[i],
+		Width:  ctx.Layout.Widths[i],
+	}
+	ri.ColMap = plan.EmptyColMap(ctx.Layout.Schema.Len())
+	for j := 0; j < ri.Width; j++ {
+		ri.ColMap[ri.Offset+j] = j
+	}
+
+	// Gather local predicates (exactly this relation referenced).
+	var locals []expr.Expr
+	for _, p := range ctx.Preds {
+		if p.Rels == query.NewRelSet(i) {
+			locals = append(locals, p.Expr)
+		}
+	}
+	if len(locals) > 0 {
+		ri.LocalPred = expr.NewAnd(locals...)
+	}
+
+	switch entry.Kind {
+	case catalog.KindBase, catalog.KindRemote:
+		o.buildStoredLeaf(ctx, ri)
+	case catalog.KindView:
+		if err := o.buildViewLeaf(ctx, ri); err != nil {
+			return nil, err
+		}
+	case catalog.KindFunc:
+		o.buildFuncInfo(ctx, ri)
+	default:
+		return nil, fmt.Errorf("opt: unsupported relation kind for %q", ref.Name)
+	}
+	return ri, nil
+}
+
+// validateBlock rejects blocks whose expressions reference columns
+// outside the layout — programmatic construction errors that would
+// otherwise only surface as execution failures.
+func validateBlock(b *query.Block, layout *query.Layout) error {
+	w := layout.Schema.Len()
+	check := func(e expr.Expr, what string) error {
+		cols := map[int]bool{}
+		e.CollectCols(cols)
+		for c := range cols {
+			if c < 0 || c >= w {
+				return fmt.Errorf("opt: %s %q references column %d outside the block layout (width %d)",
+					what, e.String(), c, w)
+			}
+		}
+		return nil
+	}
+	for _, p := range b.Preds {
+		if err := check(p, "predicate"); err != nil {
+			return err
+		}
+	}
+	for _, o := range b.Proj {
+		if err := check(o.Expr, "projection"); err != nil {
+			return err
+		}
+	}
+	for _, a := range b.Aggs {
+		if a.Arg != nil {
+			if err := check(a.Arg, "aggregate"); err != nil {
+				return err
+			}
+		}
+	}
+	for _, g := range b.GroupBy {
+		if g < 0 || g >= w {
+			return fmt.Errorf("opt: GROUP BY column %d outside the block layout (width %d)", g, w)
+		}
+	}
+	return nil
+}
+
+// relStats returns the statistics for a stored/function relation,
+// honoring StatsOverride.
+func (o *Optimizer) relStats(e *catalog.Entry) *stats.RelStats {
+	if s, ok := o.StatsOverride[e.Name]; ok {
+		return s
+	}
+	return e.Stats()
+}
+
+func (o *Optimizer) buildStoredLeaf(ctx *Ctx, ri *RelInfo) {
+	t := ri.Entry.Table
+	raw := o.relStats(ri.Entry)
+	if raw == nil {
+		raw = &stats.RelStats{Rows: float64(t.NumRows()), Cols: make([]stats.ColStats, ri.Width)}
+	}
+	ri.RawStats = raw
+	sel := 1.0
+	var localLocal expr.Expr // local predicate remapped to relation-local layout
+	if ri.LocalPred != nil {
+		localLocal = expr.Remap(ri.LocalPred, ri.ColMap)
+		sel = stats.Selectivity(localLocal, raw)
+	}
+	ri.LocalSel = sel
+	ri.FilteredStats = raw.Scale(sel)
+	ri.FilteredRows = ri.FilteredStats.Rows
+
+	pages := float64(storage.PagesFor(int(raw.Rows+0.5), t.RowsPerPage()))
+	est := cost.Estimate{PageReads: pages, CPUTuples: raw.Rows}
+	if localLocal != nil {
+		est.CPUTuples += raw.Rows // Select charges one CPU op per evaluated row
+	}
+	detail := ri.Ref.Name
+	if ri.Ref.Alias != "" && ri.Ref.Alias != ri.Ref.Name {
+		detail += " " + ri.Ref.Alias
+	}
+	kind := "TableScan"
+	alias := ri.Ref.Binding()
+	mk := func() exec.Operator {
+		var op exec.Operator = exec.NewTableScan(t, alias)
+		if localLocal != nil {
+			op = exec.NewSelect(op, localLocal)
+		}
+		return op
+	}
+	// Index-assisted access: an equality predicate on an indexed column
+	// turns the leaf into an index lookup when that is cheaper.
+	if localLocal != nil && o.methodEnabled("indexaccess") {
+		if ixEst, ixMk, ixDetail, ok := o.indexAccessPlan(ri, localLocal, alias); ok {
+			if o.Model.TotalEstimate(ixEst) < o.Model.TotalEstimate(est) {
+				est, mk = ixEst, ixMk
+				kind = "IndexLookup"
+				detail += " " + ixDetail
+			}
+		}
+	}
+	if ri.Entry.Kind == catalog.KindRemote {
+		kind = "ShipScan"
+		rowBytes := ri.Schema.RowWidth()
+		est.NetMsgs++
+		est.NetBytes += ri.FilteredRows * float64(rowBytes)
+		est.CPUTuples += ri.FilteredRows // Ship charges per shipped row
+		inner := mk
+		mk = func() exec.Operator { return dist.NewShip(inner(), rowBytes) }
+		detail += fmt.Sprintf(" @site%d", ri.Entry.Site)
+	}
+	if localLocal != nil {
+		detail += " σ(" + localLocal.String() + ")"
+	}
+	ri.Access = &plan.Node{
+		Kind:      kind,
+		Detail:    detail,
+		Est:       est,
+		Rows:      ri.FilteredRows,
+		Stats:     ri.FilteredStats,
+		OutSchema: ri.Schema,
+		ColMap:    ri.ColMap,
+		Rels:      query.NewRelSet(ri.Index),
+		Make:      mk,
+	}
+}
+
+// conjuncts flattens a predicate into its top-level AND conjuncts.
+func conjuncts(e expr.Expr) []expr.Expr {
+	if a, ok := e.(expr.And); ok {
+		var out []expr.Expr
+		for _, k := range a.Kids {
+			out = append(out, conjuncts(k)...)
+		}
+		return out
+	}
+	return []expr.Expr{e}
+}
+
+// indexAccessPlan looks for an equality conjunct `col = literal` on an
+// indexed column of the relation and builds an index-lookup leaf: one
+// index probe plus the matching pages, with the remaining conjuncts
+// applied on top. localLocal is the relation-local predicate.
+func (o *Optimizer) indexAccessPlan(ri *RelInfo, localLocal expr.Expr, alias string) (cost.Estimate, func() exec.Operator, string, bool) {
+	t := ri.Entry.Table
+	raw := ri.RawStats
+	cs := conjuncts(localLocal)
+	for pick, cj := range cs {
+		cmp, ok := cj.(expr.Cmp)
+		if !ok || cmp.Op != expr.EQ {
+			continue
+		}
+		var col expr.Col
+		var lit expr.Lit
+		if c, okc := cmp.L.(expr.Col); okc {
+			if l, okl := cmp.R.(expr.Lit); okl {
+				col, lit = c, l
+			} else {
+				continue
+			}
+		} else if c, okc := cmp.R.(expr.Col); okc {
+			if l, okl := cmp.L.(expr.Lit); okl {
+				col, lit = c, l
+			} else {
+				continue
+			}
+		} else {
+			continue
+		}
+		ix := t.IndexOn([]int{col.Idx})
+		if ix == nil {
+			continue
+		}
+		d := raw.DistinctOf(col.Idx)
+		if d < 1 {
+			d = 1
+		}
+		k := raw.Rows / d
+		matchPages := stats.MatchPages(raw.Rows, float64(t.NumPages()), k,
+			t.RowsPerPage(), raw.ClusteredOn(col.Idx))
+		est := cost.Estimate{PageReads: 1 + matchPages, CPUTuples: k}
+		var rest []expr.Expr
+		for j, other := range cs {
+			if j != pick {
+				rest = append(rest, other)
+			}
+		}
+		var restPred expr.Expr
+		if len(rest) > 0 {
+			restPred = expr.NewAnd(rest...)
+			est.CPUTuples += k
+		}
+		key := value.Row{lit.V}
+		mk := func() exec.Operator {
+			var op exec.Operator = exec.NewIndexLookup(t, ix, key, alias)
+			if restPred != nil {
+				op = exec.NewSelect(op, restPred)
+			}
+			return op
+		}
+		return est, mk, fmt.Sprintf("via %s on %s", ix.Name(), cj.String()), true
+	}
+	return cost.Estimate{}, nil, "", false
+}
+
+// viewLeaf optimizes (and caches) the unrestricted full computation of a
+// view: the "FULL COMPUTATION" row of Fig 6 for table expressions.
+func (o *Optimizer) viewLeaf(e *catalog.Entry) (*plan.Node, error) {
+	if n, ok := o.viewLeafCache[e.Name]; ok {
+		return n, nil
+	}
+	n, err := o.OptimizeBlock(e.ViewDef)
+	if err != nil {
+		return nil, fmt.Errorf("opt: optimizing view %q: %w", e.Name, err)
+	}
+	o.viewLeafCache[e.Name] = n
+	return n, nil
+}
+
+func (o *Optimizer) buildViewLeaf(ctx *Ctx, ri *RelInfo) error {
+	nested, err := o.viewLeaf(ri.Entry)
+	if err != nil {
+		return err
+	}
+	raw := nested.Stats
+	if raw == nil {
+		raw = &stats.RelStats{Rows: nested.Rows, Cols: make([]stats.ColStats, ri.Width)}
+	}
+	ri.RawStats = raw
+	sel := 1.0
+	var localLocal expr.Expr
+	if ri.LocalPred != nil {
+		localLocal = expr.Remap(ri.LocalPred, ri.ColMap)
+		sel = stats.Selectivity(localLocal, raw)
+	}
+	ri.LocalSel = sel
+	ri.FilteredStats = raw.Scale(sel)
+	ri.FilteredRows = ri.FilteredStats.Rows
+
+	est := nested.Est
+	if localLocal != nil {
+		est.CPUTuples += nested.Rows
+	}
+	detail := "view " + ri.Ref.Name
+	if localLocal != nil {
+		detail += " σ(" + localLocal.String() + ")"
+	}
+	mk := func() exec.Operator {
+		var op exec.Operator = nested.Make()
+		if localLocal != nil {
+			op = exec.NewSelect(op, localLocal)
+		}
+		return op
+	}
+	if ri.Entry.Site > 0 {
+		// Remote view: the body executes at the remote site; only the
+		// (locally filtered) result crosses the network.
+		rowBytes := ri.Schema.RowWidth()
+		est.NetMsgs++
+		est.NetBytes += ri.FilteredRows * float64(rowBytes)
+		est.CPUTuples += ri.FilteredRows
+		inner := mk
+		mk = func() exec.Operator { return dist.NewShip(inner(), rowBytes) }
+		detail += fmt.Sprintf(" @site%d", ri.Entry.Site)
+	}
+	ri.Access = &plan.Node{
+		Kind:      "ViewScan",
+		Detail:    detail,
+		Children:  []*plan.Node{nested},
+		Est:       est,
+		Rows:      ri.FilteredRows,
+		Stats:     ri.FilteredStats,
+		OutSchema: ri.Schema,
+		ColMap:    ri.ColMap,
+		Rels:      query.NewRelSet(ri.Index),
+		Make:      mk,
+	}
+	return nil
+}
+
+func (o *Optimizer) buildFuncInfo(ctx *Ctx, ri *RelInfo) {
+	raw := o.relStats(ri.Entry)
+	if raw == nil {
+		raw = &stats.RelStats{Rows: 1000, Cols: make([]stats.ColStats, ri.Width)}
+	}
+	ri.RawStats = raw
+	sel := 1.0
+	if ri.LocalPred != nil {
+		local := expr.Remap(ri.LocalPred, ri.ColMap)
+		sel = stats.Selectivity(local, raw)
+	}
+	ri.LocalSel = sel
+	ri.FilteredStats = raw.Scale(sel)
+	ri.FilteredRows = ri.FilteredStats.Rows
+	// No Access plan: a function-backed relation has no enumerable
+	// extension; it is joined only via probe-style methods.
+}
+
+// closeEquiClasses computes the transitive closure of cross-relation
+// equalities: columns are grouped with union-find and derived equality
+// predicates are added for pairs in one class that lack a direct
+// predicate (so that, e.g., D⋈V is a keyed join when E.did=D.did and
+// E.did=V.did both hold — the paper's Fig 3 orders 3 and 4).
+func (c *Ctx) closeEquiClasses() {
+	n := c.Layout.Schema.Len()
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	direct := map[[2]int]bool{}
+	for _, p := range c.Preds {
+		if p.EquiL >= 0 {
+			union(p.EquiL, p.EquiR)
+			a, b := p.EquiL, p.EquiR
+			if a > b {
+				a, b = b, a
+			}
+			direct[[2]int{a, b}] = true
+		}
+	}
+	// Collect class members that participate in some equality.
+	classes := map[int][]int{}
+	for _, p := range c.Preds {
+		if p.EquiL >= 0 {
+			r := find(p.EquiL)
+			classes[r] = appendUnique(classes[r], p.EquiL)
+			classes[r] = appendUnique(classes[r], p.EquiR)
+		}
+	}
+	for _, p := range c.Preds {
+		if p.EquiL >= 0 {
+			p.Class = find(p.EquiL)
+		}
+	}
+	for root, members := range classes {
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				a, b := members[i], members[j]
+				if a > b {
+					a, b = b, a
+				}
+				if direct[[2]int{a, b}] {
+					continue
+				}
+				if c.Layout.RelOfCol(a) == c.Layout.RelOfCol(b) {
+					continue
+				}
+				e := expr.Eq(
+					expr.NewCol(a, c.Layout.Schema.Col(a).QualifiedName()),
+					expr.NewCol(b, c.Layout.Schema.Col(b).QualifiedName()),
+				)
+				c.Preds = append(c.Preds, &PredInfo{
+					Expr:    e,
+					Rels:    query.NewRelSet(c.Layout.RelOfCol(a), c.Layout.RelOfCol(b)),
+					EquiL:   a,
+					EquiR:   b,
+					Class:   root,
+					Derived: true,
+				})
+			}
+		}
+	}
+}
+
+func appendUnique(s []int, v int) []int {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// ApplicablePreds returns the predicates that become evaluable when the
+// inner relation joins the outer subset: they reference the inner, span
+// at least two relations, and everything they reference is available.
+func (c *Ctx) ApplicablePreds(outer query.RelSet, inner int) []*PredInfo {
+	var out []*PredInfo
+	all := outer.With(inner)
+	for _, p := range c.Preds {
+		if p.Rels.Has(inner) && p.Rels.Count() >= 2 && p.Rels.SubsetOf(all) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// EquiSplit partitions applicable predicates into equi-join pairs
+// (outer block column, inner block column) and residual predicates.
+func (c *Ctx) EquiSplit(preds []*PredInfo, outer query.RelSet, inner int) (outerCols, innerCols []int, residual []*PredInfo) {
+	innerRel := c.Rels[inner]
+	for _, p := range preds {
+		if p.EquiL >= 0 {
+			lRel := c.Layout.RelOfCol(p.EquiL)
+			rRel := c.Layout.RelOfCol(p.EquiR)
+			switch {
+			case lRel == innerRel.Index && outer.Has(rRel):
+				outerCols = append(outerCols, p.EquiR)
+				innerCols = append(innerCols, p.EquiL)
+				continue
+			case rRel == innerRel.Index && outer.Has(lRel):
+				outerCols = append(outerCols, p.EquiL)
+				innerCols = append(innerCols, p.EquiR)
+				continue
+			}
+		}
+		residual = append(residual, p)
+	}
+	return outerCols, innerCols, residual
+}
+
+// DistinctOfBlockCol returns the distinct-count estimate of a block
+// layout column within a plan node's output.
+func (c *Ctx) DistinctOfBlockCol(n *plan.Node, col int) float64 {
+	if n.ColMap == nil || col < 0 || col >= len(n.ColMap) {
+		return n.Rows
+	}
+	pos := n.ColMap[col]
+	if pos < 0 || n.Stats == nil || pos >= len(n.Stats.Cols) {
+		return n.Rows
+	}
+	return n.Stats.DistinctOf(pos)
+}
+
+// PredSelectivity estimates the selectivity of one applicable join
+// predicate between the outer plan and the inner relation.
+func (c *Ctx) PredSelectivity(p *PredInfo, outer *plan.Node, inner int) float64 {
+	ri := c.Rels[inner]
+	if p.EquiL >= 0 {
+		dl := c.sideDistinct(p.EquiL, outer, ri)
+		dr := c.sideDistinct(p.EquiR, outer, ri)
+		return stats.JoinSelectivity(dl, dr)
+	}
+	return 1.0 / 3.0
+}
+
+func (c *Ctx) sideDistinct(col int, outer *plan.Node, ri *RelInfo) float64 {
+	rel := c.Layout.RelOfCol(col)
+	if rel == ri.Index {
+		return ri.FilteredStats.DistinctOf(col - ri.Offset)
+	}
+	return c.DistinctOfBlockCol(outer, col)
+}
+
+// JoinResult computes the standard estimate for joining outer with the
+// inner relation under the applicable predicates: output rows and output
+// stats (outer columns followed by inner columns).
+func (c *Ctx) JoinResult(outer *plan.Node, inner int, preds []*PredInfo) (float64, *stats.RelStats) {
+	ri := c.Rels[inner]
+	sel := 1.0
+	counted := map[int]bool{}
+	for _, p := range preds {
+		if p.Class >= 0 {
+			// One equality per equivalence class: a=b ∧ b=c ∧ a=c are not
+			// independent filters.
+			if counted[p.Class] {
+				continue
+			}
+			counted[p.Class] = true
+		}
+		sel *= c.PredSelectivity(p, outer, inner)
+	}
+	rows := outer.Rows * ri.FilteredRows * sel
+	if rows < 0 {
+		rows = 0
+	}
+	outStats := outer.Stats
+	if outStats == nil {
+		outStats = &stats.RelStats{Rows: outer.Rows, Cols: make([]stats.ColStats, outer.OutSchema.Len())}
+	}
+	combined := stats.Concat(outStats, ri.FilteredStats, rows)
+	// Equi-join columns: both sides end up with the same value set, whose
+	// size is at most the smaller side's distinct count.
+	outerWidth := outer.OutSchema.Len()
+	for _, p := range preds {
+		if p.EquiL < 0 {
+			continue
+		}
+		lp := c.combinedPos(p.EquiL, outer, ri, outerWidth)
+		rp := c.combinedPos(p.EquiR, outer, ri, outerWidth)
+		if lp < 0 || rp < 0 || lp >= len(combined.Cols) || rp >= len(combined.Cols) {
+			continue
+		}
+		d := combined.Cols[lp].Distinct
+		if combined.Cols[rp].Distinct < d {
+			d = combined.Cols[rp].Distinct
+		}
+		if d > rows {
+			d = rows
+		}
+		combined.Cols[lp].Distinct = d
+		combined.Cols[rp].Distinct = d
+	}
+	return rows, combined
+}
+
+// combinedPos maps a block-layout column to its position in the
+// outer‖inner combined output, or -1.
+func (c *Ctx) combinedPos(col int, outer *plan.Node, ri *RelInfo, outerWidth int) int {
+	if col < 0 {
+		return -1
+	}
+	if col < len(outer.ColMap) && outer.ColMap[col] >= 0 {
+		return outer.ColMap[col]
+	}
+	if col < len(ri.ColMap) && ri.ColMap[col] >= 0 {
+		return ri.ColMap[col] + outerWidth
+	}
+	return -1
+}
+
+// CombinedColMap returns the block-layout column map for a join output
+// laid out as outer columns followed by the inner relation's columns.
+func (c *Ctx) CombinedColMap(outer *plan.Node, inner int) []int {
+	ri := c.Rels[inner]
+	outerWidth := outer.OutSchema.Len()
+	out := make([]int, len(outer.ColMap))
+	for i := range out {
+		switch {
+		case outer.ColMap[i] >= 0:
+			out[i] = outer.ColMap[i]
+		case ri.ColMap[i] >= 0:
+			out[i] = ri.ColMap[i] + outerWidth
+		default:
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// ResidualExpr conjoins and remaps residual predicates into the combined
+// output layout described by colMap; returns nil when empty.
+func ResidualExpr(preds []*PredInfo, colMap []int) expr.Expr {
+	if len(preds) == 0 {
+		return nil
+	}
+	kids := make([]expr.Expr, len(preds))
+	for i, p := range preds {
+		kids[i] = expr.Remap(p.Expr, colMap)
+	}
+	return expr.NewAnd(kids...)
+}
+
+// OuterKeyPositions maps block-layout key columns into positions within
+// the outer plan's output; returns false if any is unavailable.
+func OuterKeyPositions(outer *plan.Node, cols []int) ([]int, bool) {
+	out := make([]int, len(cols))
+	for i, c := range cols {
+		if c < 0 || c >= len(outer.ColMap) || outer.ColMap[c] < 0 {
+			return nil, false
+		}
+		out[i] = outer.ColMap[c]
+	}
+	return out, true
+}

@@ -1,0 +1,156 @@
+package opt
+
+import (
+	"fmt"
+
+	"filterjoin/internal/plan"
+	"filterjoin/internal/query"
+)
+
+// runDP performs System R bottom-up dynamic programming over left-deep
+// join orders: the best plan is kept for every subset of relations, and
+// each subset of size k is built by extending a size-(k-1) subset with
+// one relation through every enabled join method. Cartesian products are
+// deferred: a subset is extended with unconnected relations only when no
+// predicate-connected extension exists.
+func (o *Optimizer) runDP(ctx *Ctx) (*plan.Node, error) {
+	n := len(ctx.Rels)
+	best := map[query.RelSet]*plan.Node{}
+
+	for i, ri := range ctx.Rels {
+		if ri.Access != nil {
+			best[query.NewRelSet(i)] = ri.Access
+			o.Metrics.SubsetsExplored++
+			o.Metrics.PlansConsidered++
+		}
+	}
+	if len(best) == 0 {
+		return nil, fmt.Errorf("opt: no relation in the block has an access path (a function-backed relation cannot be outermost)")
+	}
+	if n == 1 {
+		full := query.NewRelSet(0)
+		if p, ok := best[full]; ok {
+			return p, nil
+		}
+		return nil, fmt.Errorf("opt: single relation has no access path")
+	}
+
+	for size := 2; size <= n; size++ {
+		var prev []query.RelSet
+		for s := range best {
+			if s.Count() == size-1 {
+				prev = append(prev, s)
+			}
+		}
+		for _, s := range prev {
+			outer := best[s]
+			exts := o.extensions(ctx, s, n)
+			for _, i := range exts {
+				cands, err := ctx.builtinCandidates(outer, i)
+				if err != nil {
+					return nil, err
+				}
+				for _, m := range o.extra {
+					if !o.methodEnabled(m.Name()) {
+						continue
+					}
+					extra, err := m.Candidates(ctx, outer, i)
+					if err != nil {
+						return nil, err
+					}
+					cands = append(cands, extra...)
+				}
+				ns := s.With(i)
+				for _, cand := range cands {
+					o.Metrics.PlansConsidered++
+					cur, ok := best[ns]
+					if !ok {
+						o.Metrics.SubsetsExplored++
+					}
+					if !ok || cand.Total(o.Model) < cur.Total(o.Model) {
+						best[ns] = cand
+					}
+				}
+			}
+		}
+	}
+
+	full := query.RelSet(0)
+	for i := 0; i < n; i++ {
+		full = full.With(i)
+	}
+	p, ok := best[full]
+	if !ok {
+		return nil, fmt.Errorf("opt: no complete plan found (disconnected query with an unbindable function relation?)")
+	}
+	return p, nil
+}
+
+// OptimizeBlockWithOrder optimizes b with the join order fixed to the
+// given permutation of relation ordinals: the DP collapses to a single
+// left-deep chain, but every enabled join method still competes at each
+// step. Experiment E2 uses this to cost all six orders of Fig 3.
+func (o *Optimizer) OptimizeBlockWithOrder(b *query.Block, order []int) (*plan.Node, error) {
+	if len(order) != len(b.Rels) {
+		return nil, fmt.Errorf("opt: order has %d entries for %d relations", len(order), len(b.Rels))
+	}
+	o.depth++
+	defer func() { o.depth-- }()
+	ctx, err := o.newCtx(b)
+	if err != nil {
+		return nil, err
+	}
+	cur := ctx.Rels[order[0]].Access
+	if cur == nil {
+		return nil, fmt.Errorf("opt: relation %d cannot be outermost (no access path)", order[0])
+	}
+	for _, i := range order[1:] {
+		cands, err := ctx.builtinCandidates(cur, i)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range o.extra {
+			if !o.methodEnabled(m.Name()) {
+				continue
+			}
+			extra, err := m.Candidates(ctx, cur, i)
+			if err != nil {
+				return nil, err
+			}
+			cands = append(cands, extra...)
+		}
+		if len(cands) == 0 {
+			return nil, fmt.Errorf("opt: no join method applies at relation %d in the forced order", i)
+		}
+		best := cands[0]
+		for _, cand := range cands[1:] {
+			o.Metrics.PlansConsidered++
+			if cand.Total(o.Model) < best.Total(o.Model) {
+				best = cand
+			}
+		}
+		cur = best
+	}
+	return o.finish(ctx, cur)
+}
+
+// extensions returns the relations the subset should be extended with:
+// connected ones if any, otherwise every remaining relation (deferred
+// cross products).
+func (o *Optimizer) extensions(ctx *Ctx, s query.RelSet, n int) []int {
+	var connected, rest []int
+	for i := 0; i < n; i++ {
+		if s.Has(i) {
+			continue
+		}
+		if len(ctx.ApplicablePreds(s, i)) > 0 {
+			connected = append(connected, i)
+		} else {
+			rest = append(rest, i)
+		}
+	}
+	if len(connected) > 0 {
+		return connected
+	}
+	return rest
+}

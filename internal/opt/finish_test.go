@@ -1,0 +1,143 @@
+package opt
+
+import (
+	"testing"
+
+	"filterjoin/internal/cost"
+	"filterjoin/internal/expr"
+	"filterjoin/internal/query"
+	"filterjoin/internal/schema"
+	"filterjoin/internal/stats"
+	"filterjoin/internal/value"
+)
+
+func TestHavingFinishing(t *testing.T) {
+	cat := buildCat(t)
+	o := New(cat, cost.DefaultModel())
+	// Groups of A by k have 20 rows each; HAVING over an impossible count
+	// must filter everything, a satisfiable one must keep all 100 groups.
+	base := &query.Block{
+		Rels:    []query.RelRef{{Name: "A"}},
+		GroupBy: []int{0},
+		Aggs:    []expr.AggSpec{{Kind: expr.AggCount, Name: "n"}},
+	}
+	withHaving := func(h expr.Expr) *query.Block {
+		b := base.Clone()
+		b.Having = h
+		return b
+	}
+	p, err := o.OptimizeBlock(withHaving(expr.NewCmp(expr.GT, expr.NewCol(1, "n"), expr.Int(100))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Find("Having") == nil {
+		t.Error("plan must contain a Having node")
+	}
+	rows, _ := runNode(t, p)
+	if len(rows) != 0 {
+		t.Errorf("impossible HAVING kept %d groups", len(rows))
+	}
+	p, err = o.OptimizeBlock(withHaving(expr.NewCmp(expr.GE, expr.NewCol(1, "n"), expr.Int(20))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ = runNode(t, p)
+	if len(rows) != 100 {
+		t.Errorf("HAVING n >= 20 kept %d groups, want 100", len(rows))
+	}
+	// HAVING referencing a column outside the output errors at plan time.
+	if _, err := o.OptimizeBlock(withHaving(expr.NewCmp(expr.GT, expr.NewCol(7, "??"), expr.Int(1)))); err == nil {
+		t.Error("out-of-range HAVING must be rejected")
+	}
+}
+
+func TestOrderByLimitFinishing(t *testing.T) {
+	cat := buildCat(t)
+	o := New(cat, cost.DefaultModel())
+	b := &query.Block{
+		Rels:    []query.RelRef{{Name: "B"}},
+		Proj:    []query.Output{{Expr: expr.NewCol(1, "B.w"), Name: "w"}},
+		OrderBy: []query.OrderItem{{Col: 0, Desc: true}},
+		Limit:   3,
+	}
+	p, err := o.OptimizeBlock(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != "TopN" {
+		t.Errorf("ORDER BY + LIMIT should fuse into TopN, got %s", p.Kind)
+	}
+	rows, _ := runNode(t, p)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][0].Int() != 990 || rows[2][0].Int() != 970 {
+		t.Errorf("descending top-3 = %v", rows)
+	}
+	// Out-of-range ORDER BY errors.
+	b2 := b.Clone()
+	b2.OrderBy = []query.OrderItem{{Col: 5}}
+	if _, err := o.OptimizeBlock(b2); err == nil {
+		t.Error("out-of-range ORDER BY must be rejected")
+	}
+}
+
+func TestConstantPredicateFinishing(t *testing.T) {
+	cat := buildCat(t)
+	o := New(cat, cost.DefaultModel())
+	b := &query.Block{
+		Rels:  []query.RelRef{{Name: "B"}},
+		Preds: []expr.Expr{expr.NewCmp(expr.EQ, expr.Int(1), expr.Int(2))},
+	}
+	p, err := o.OptimizeBlock(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := runNode(t, p)
+	if len(rows) != 0 {
+		t.Errorf("1=2 kept %d rows", len(rows))
+	}
+}
+
+func TestFuncProbeWithinOpt(t *testing.T) {
+	cat := buildCat(t)
+	s := schema.New(
+		schema.Column{Table: "F", Name: "k", Type: value.KindInt},
+		schema.Column{Table: "F", Name: "twice", Type: value.KindInt},
+	)
+	cat.AddFunc("F", s, []int{0}, func(args value.Row) ([]value.Row, error) {
+		return []value.Row{{args[0], value.NewInt(args[0].Int() * 2)}}, nil
+	}, &stats.RelStats{Rows: 100, Cols: []stats.ColStats{{Distinct: 100}, {Distinct: 100}}}, 1)
+
+	// B ⋈ F with a local predicate on the function output.
+	// Layout: B:[0,1] F:[2,3].
+	b := &query.Block{
+		Rels: []query.RelRef{{Name: "B"}, {Name: "F"}},
+		Preds: []expr.Expr{
+			expr.Eq(expr.NewCol(0, "B.k"), expr.NewCol(2, "F.k")),
+			expr.NewCmp(expr.LT, expr.NewCol(3, "F.twice"), expr.Int(10)),
+		},
+	}
+	o := New(cat, cost.DefaultModel())
+	p, err := o.OptimizeBlock(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, c := runNode(t, p)
+	if len(rows) != 5 { // twice < 10 → k in 0..4
+		t.Errorf("rows = %d, want 5", len(rows))
+	}
+	if c.FnCalls == 0 {
+		t.Error("function must have been invoked")
+	}
+	// A function relation alone cannot be planned.
+	if _, err := o.OptimizeBlock(&query.Block{Rels: []query.RelRef{{Name: "F"}}}); err == nil {
+		t.Error("function-only block must fail (no access path)")
+	}
+	// Without a binding predicate it cannot join either.
+	if _, err := o.OptimizeBlock(&query.Block{
+		Rels: []query.RelRef{{Name: "B"}, {Name: "F"}},
+	}); err == nil {
+		t.Error("unbound function relation must fail")
+	}
+}

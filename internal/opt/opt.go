@@ -1,0 +1,133 @@
+// Package opt implements a System R style cost-based query optimizer:
+// bottom-up dynamic programming over left-deep join orders, with
+// per-join selection among multiple join methods. Join methods are
+// partly built in (nested loops, hash, sort-merge, index nested loops,
+// function probes, remote fetch-matches) and partly pluggable via the
+// JoinMethod interface — the paper's Filter Join (internal/core)
+// registers itself through that interface, exactly as §3 of the paper
+// prescribes: magic sets enters the optimizer as one more join method
+// with its own cost formula, not as a query rewrite.
+package opt
+
+import (
+	"fmt"
+
+	"filterjoin/internal/catalog"
+	"filterjoin/internal/cost"
+	"filterjoin/internal/plan"
+	"filterjoin/internal/query"
+	"filterjoin/internal/stats"
+)
+
+// JoinMethod is a pluggable join algorithm the DP loop consults at every
+// join step. Candidates returns zero or more complete plans for joining
+// the outer (a plan over some subset of the block's relations) with the
+// inner relation (an ordinal into ctx.Rels). Returned nodes must follow
+// the convention that their output is the outer's columns followed by
+// the inner relation's columns.
+type JoinMethod interface {
+	Name() string
+	Candidates(ctx *Ctx, outer *plan.Node, inner int) ([]*plan.Node, error)
+}
+
+// Metrics instruments one optimizer (cumulative across invocations).
+// Experiment E7 uses PlansConsidered to show that enabling the Filter
+// Join does not change the asymptotic complexity of optimization, and E4
+// uses NestedOptimizations to show Assumption 1 holds via caching.
+type Metrics struct {
+	PlansConsidered     int64 // candidate plans costed
+	SubsetsExplored     int64 // DP table entries created
+	NestedOptimizations int64 // recursive OptimizeBlock invocations
+}
+
+// Optimizer is a reusable cost-based optimizer over a catalog.
+type Optimizer struct {
+	Cat   *catalog.Catalog
+	Model cost.Model
+
+	// Disabled turns off join methods by name ("hash", "merge", "nlj",
+	// "indexnl", "funcprobe", "fetchmatches", or an extra method's name).
+	Disabled map[string]bool
+
+	// StatsOverride substitutes statistics for named relations; the
+	// parametric view coster uses it to plant synthetic filter-set
+	// cardinalities without building data.
+	StatsOverride map[string]*stats.RelStats
+
+	// MaxRelations caps the DP size (default 14).
+	MaxRelations int
+
+	Metrics Metrics
+
+	extra         []JoinMethod
+	viewLeafCache map[string]*plan.Node
+	depth         int
+	tempSeq       int
+}
+
+// New creates an optimizer over cat with the given cost model.
+func New(cat *catalog.Catalog, model cost.Model) *Optimizer {
+	return &Optimizer{
+		Cat:           cat,
+		Model:         model,
+		Disabled:      map[string]bool{},
+		StatsOverride: map[string]*stats.RelStats{},
+		MaxRelations:  14,
+		viewLeafCache: map[string]*plan.Node{},
+	}
+}
+
+// Register adds an external join method (e.g. the Filter Join).
+func (o *Optimizer) Register(m JoinMethod) { o.extra = append(o.extra, m) }
+
+// ExtraMethods returns the registered external methods.
+func (o *Optimizer) ExtraMethods() []JoinMethod { return o.extra }
+
+// InvalidateCaches drops memoized view leaves (after catalog changes).
+func (o *Optimizer) InvalidateCaches() {
+	o.viewLeafCache = map[string]*plan.Node{}
+}
+
+// TempName returns a unique name for transient catalog entries.
+func (o *Optimizer) TempName(prefix string) string {
+	o.tempSeq++
+	return fmt.Sprintf("__%s_%d", prefix, o.tempSeq)
+}
+
+// OptimizeBlock optimizes a query block and returns the best physical
+// plan, including the block's output shape (projection / aggregation /
+// distinct) on top of the best join order.
+func (o *Optimizer) OptimizeBlock(b *query.Block) (*plan.Node, error) {
+	if len(b.Rels) == 0 {
+		return nil, fmt.Errorf("opt: block has no relations")
+	}
+	if len(b.Rels) > o.MaxRelations {
+		return nil, fmt.Errorf("opt: %d relations exceeds MaxRelations=%d", len(b.Rels), o.MaxRelations)
+	}
+	o.depth++
+	if o.depth > 16 {
+		o.depth--
+		return nil, fmt.Errorf("opt: nested optimization too deep (view cycle?)")
+	}
+	defer func() { o.depth-- }()
+	if o.depth > 1 {
+		o.Metrics.NestedOptimizations++
+	}
+
+	ctx, err := o.newCtx(b)
+	if err != nil {
+		return nil, err
+	}
+	joined, err := o.runDP(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return o.finish(ctx, joined)
+}
+
+// Depth reports the current nesting depth (1 while inside a top-level
+// optimization); used by external methods to bound recursion.
+func (o *Optimizer) Depth() int { return o.depth }
+
+// methodEnabled reports whether the named method may produce candidates.
+func (o *Optimizer) methodEnabled(name string) bool { return !o.Disabled[name] }

@@ -1,0 +1,74 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"filterjoin/internal/catalog"
+	"filterjoin/internal/cost"
+	"filterjoin/internal/expr"
+	"filterjoin/internal/query"
+	"filterjoin/internal/schema"
+	"filterjoin/internal/storage"
+	"filterjoin/internal/value"
+)
+
+func remoteCat(t testing.TB) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	s := schema.New(
+		schema.Column{Table: "R", Name: "k", Type: value.KindInt},
+		schema.Column{Table: "R", Name: "v", Type: value.KindInt},
+	)
+	tb := storage.NewTable("R", s)
+	for i := 0; i < 1000; i++ {
+		tb.MustInsert(value.NewInt(int64(i)), value.NewInt(int64(i*3)))
+	}
+	cat.AddRemoteTable(tb, 1)
+	return cat
+}
+
+// TestRemoteScanEstimateExact: for a full remote scan, the optimizer's
+// network estimate must match the executed counters exactly — shipping
+// is deterministic (rows × width + one message).
+func TestRemoteScanEstimateExact(t *testing.T) {
+	cat := remoteCat(t)
+	o := New(cat, cost.DefaultModel())
+	p, err := o.OptimizeBlock(&query.Block{Rels: []query.RelRef{{Name: "R"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c := runNode(t, p)
+	if p.Est.NetBytes != float64(c.NetBytes) {
+		t.Errorf("NetBytes estimate %g vs measured %d", p.Est.NetBytes, c.NetBytes)
+	}
+	if p.Est.NetMsgs != float64(c.NetMsgs) {
+		t.Errorf("NetMsgs estimate %g vs measured %d", p.Est.NetMsgs, c.NetMsgs)
+	}
+	if c.NetBytes != 1000*16 {
+		t.Errorf("1000 rows × 16 bytes expected, got %d", c.NetBytes)
+	}
+}
+
+// TestRemoteLocalPredReducesShipping: local predicates on a remote
+// relation are applied at the remote site, shrinking the shipment —
+// both in the estimate and in execution.
+func TestRemoteLocalPredReducesShipping(t *testing.T) {
+	cat := remoteCat(t)
+	o := New(cat, cost.DefaultModel())
+	b := &query.Block{
+		Rels:  []query.RelRef{{Name: "R"}},
+		Preds: []expr.Expr{expr.NewCmp(expr.LT, expr.NewCol(0, "R.k"), expr.Int(100))},
+	}
+	p, err := o.OptimizeBlock(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c := runNode(t, p)
+	if c.NetBytes >= 1000*16 {
+		t.Errorf("predicate should be pushed to the remote side: shipped %d bytes", c.NetBytes)
+	}
+	if math.Abs(p.Est.NetBytes-float64(c.NetBytes)) > 0.2*float64(c.NetBytes)+64 {
+		t.Errorf("shipping estimate %g far from measured %d", p.Est.NetBytes, c.NetBytes)
+	}
+}

@@ -1,0 +1,119 @@
+// Package plan defines the physical plan node the optimizer produces:
+// an annotated tree carrying estimated resource consumption, estimated
+// output cardinality and statistics, the output schema, a mapping from
+// the query block's global column layout to the node's output positions,
+// and a factory that builds a fresh executable operator tree.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"filterjoin/internal/cost"
+	"filterjoin/internal/exec"
+	"filterjoin/internal/query"
+	"filterjoin/internal/schema"
+	"filterjoin/internal/stats"
+)
+
+// Node is one physical plan node. Children are for display/explanation;
+// the executable form is produced by Make, which must return a fresh
+// operator tree on every call (so nested-loops re-execution and repeated
+// runs are independent).
+type Node struct {
+	Kind     string // operator kind, e.g. "HashJoin", "FilterJoin"
+	Detail   string // human-readable specifics (keys, predicates, choices)
+	Children []*Node
+
+	Est       cost.Estimate   // cumulative estimated resources for one execution
+	Rows      float64         // estimated output cardinality
+	Stats     *stats.RelStats // output statistics, aligned with OutSchema
+	OutSchema *schema.Schema
+	ColMap    []int        // block layout column -> output position, -1 if absent
+	Rels      query.RelSet // block relations this plan covers
+
+	Make func() exec.Operator
+
+	Extra any // method-specific annotation (e.g. Filter Join cost breakdown)
+}
+
+// Total returns the node's scalar cost under model m.
+func (n *Node) Total(m cost.Model) float64 { return m.TotalEstimate(n.Est) }
+
+// Format renders the plan tree, one node per line, with cardinality and
+// cost annotations.
+func Format(n *Node, m cost.Model) string {
+	var b strings.Builder
+	format(&b, n, m, 0)
+	return b.String()
+}
+
+func format(b *strings.Builder, n *Node, m cost.Model, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(n.Kind)
+	if n.Detail != "" {
+		b.WriteString(" [")
+		b.WriteString(n.Detail)
+		b.WriteString("]")
+	}
+	fmt.Fprintf(b, "  (rows=%.0f cost=%.2f)", n.Rows, n.Total(m))
+	b.WriteString("\n")
+	for _, c := range n.Children {
+		format(b, c, m, depth+1)
+	}
+}
+
+// Walk visits n and every descendant in preorder.
+func (n *Node) Walk(f func(*Node)) {
+	f(n)
+	for _, c := range n.Children {
+		c.Walk(f)
+	}
+}
+
+// Find returns the first node (preorder) of the given kind, or nil.
+func (n *Node) Find(kind string) *Node {
+	var out *Node
+	n.Walk(func(m *Node) {
+		if out == nil && m.Kind == kind {
+			out = m
+		}
+	})
+	return out
+}
+
+// IdentityColMap returns the map [0..n) -> [0..n).
+func IdentityColMap(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// EmptyColMap returns a map of width n with every entry -1.
+func EmptyColMap(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = -1
+	}
+	return out
+}
+
+// MergeColMaps combines an outer and inner column map for a join whose
+// output is outer columns followed by inner columns. Width is the block
+// layout width; innerOffset is the number of outer output columns.
+func MergeColMaps(outer, inner []int, innerOffset int) []int {
+	out := make([]int, len(outer))
+	for i := range out {
+		switch {
+		case outer[i] >= 0:
+			out[i] = outer[i]
+		case inner[i] >= 0:
+			out[i] = inner[i] + innerOffset
+		default:
+			out[i] = -1
+		}
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"filterjoin/internal/cost"
+)
+
+func tree() *Node {
+	leaf1 := &Node{Kind: "TableScan", Detail: "A", Rows: 100, Est: cost.Estimate{PageReads: 10}}
+	leaf2 := &Node{Kind: "TableScan", Detail: "B", Rows: 50, Est: cost.Estimate{PageReads: 5}}
+	join := &Node{
+		Kind:     "HashJoin",
+		Detail:   "A.x=B.x",
+		Children: []*Node{leaf1, leaf2},
+		Rows:     75,
+		Est:      cost.Estimate{PageReads: 15, CPUTuples: 225},
+	}
+	return &Node{Kind: "Project", Children: []*Node{join}, Rows: 75, Est: join.Est}
+}
+
+func TestWalkPreorder(t *testing.T) {
+	var kinds []string
+	tree().Walk(func(n *Node) { kinds = append(kinds, n.Kind) })
+	want := "Project,HashJoin,TableScan,TableScan"
+	if strings.Join(kinds, ",") != want {
+		t.Errorf("Walk order = %v", kinds)
+	}
+}
+
+func TestFind(t *testing.T) {
+	n := tree()
+	if n.Find("HashJoin") == nil {
+		t.Error("Find should locate the join")
+	}
+	if got := n.Find("TableScan"); got == nil || got.Detail != "A" {
+		t.Error("Find returns the first preorder match")
+	}
+	if n.Find("FilterJoin") != nil {
+		t.Error("Find on a missing kind returns nil")
+	}
+}
+
+func TestTotal(t *testing.T) {
+	m := cost.DefaultModel()
+	n := tree()
+	want := 15 + 0.001*225
+	if got := n.Total(m); got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("Total = %g, want %g", got, want)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	out := Format(tree(), cost.DefaultModel())
+	for _, want := range []string{"Project", "HashJoin [A.x=B.x]", "rows=75", "TableScan [A]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format output missing %q:\n%s", want, out)
+		}
+	}
+	// Children are indented below parents.
+	if strings.Index(out, "Project") > strings.Index(out, "HashJoin") {
+		t.Error("parent must precede child")
+	}
+}
+
+func TestColMapHelpers(t *testing.T) {
+	id := IdentityColMap(3)
+	if id[0] != 0 || id[2] != 2 {
+		t.Errorf("identity = %v", id)
+	}
+	em := EmptyColMap(3)
+	if em[0] != -1 || em[2] != -1 {
+		t.Errorf("empty = %v", em)
+	}
+	outer := []int{0, -1, 1, -1}
+	inner := []int{-1, 0, -1, 1}
+	merged := MergeColMaps(outer, inner, 2)
+	want := []int{0, 2, 1, 3}
+	for i := range want {
+		if merged[i] != want[i] {
+			t.Fatalf("merged = %v, want %v", merged, want)
+		}
+	}
+}

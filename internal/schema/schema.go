@@ -1,0 +1,160 @@
+// Package schema describes the shape of relations: ordered, typed, and
+// optionally table-qualified columns. Schemas are immutable once built;
+// the algebra operations (Concat, Project, Rename) return new schemas.
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"filterjoin/internal/value"
+)
+
+// Column is a single named, typed column, optionally qualified by the
+// relation (or relation alias) it came from.
+type Column struct {
+	Table string     // qualifier; may be empty
+	Name  string     // column name
+	Type  value.Kind // declared type
+}
+
+// QualifiedName returns "table.name" or just "name" when unqualified.
+func (c Column) QualifiedName() string {
+	if c.Table == "" {
+		return c.Name
+	}
+	return c.Table + "." + c.Name
+}
+
+// Schema is an ordered list of columns.
+type Schema struct {
+	cols []Column
+}
+
+// New builds a schema from the given columns.
+func New(cols ...Column) *Schema {
+	out := make([]Column, len(cols))
+	copy(out, cols)
+	return &Schema{cols: out}
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.cols) }
+
+// Col returns the i-th column.
+func (s *Schema) Col(i int) Column { return s.cols[i] }
+
+// Columns returns a copy of the column list.
+func (s *Schema) Columns() []Column {
+	out := make([]Column, len(s.cols))
+	copy(out, s.cols)
+	return out
+}
+
+// IndexOf resolves a possibly-qualified column reference to a column index.
+// An empty table matches any qualifier as long as the name is unambiguous.
+// It returns an error for unknown or ambiguous references.
+func (s *Schema) IndexOf(table, name string) (int, error) {
+	found := -1
+	for i, c := range s.cols {
+		if !strings.EqualFold(c.Name, name) {
+			continue
+		}
+		if table != "" && !strings.EqualFold(c.Table, table) {
+			continue
+		}
+		if found >= 0 {
+			return -1, fmt.Errorf("schema: ambiguous column reference %q", refName(table, name))
+		}
+		found = i
+	}
+	if found < 0 {
+		return -1, fmt.Errorf("schema: unknown column %q", refName(table, name))
+	}
+	return found, nil
+}
+
+// MustIndexOf is IndexOf but panics on failure; for internal fixtures.
+func (s *Schema) MustIndexOf(table, name string) int {
+	i, err := s.IndexOf(table, name)
+	if err != nil {
+		panic(err)
+	}
+	return i
+}
+
+func refName(table, name string) string {
+	if table == "" {
+		return name
+	}
+	return table + "." + name
+}
+
+// Concat returns the schema of s's columns followed by t's columns.
+func (s *Schema) Concat(t *Schema) *Schema {
+	out := make([]Column, 0, len(s.cols)+len(t.cols))
+	out = append(out, s.cols...)
+	out = append(out, t.cols...)
+	return &Schema{cols: out}
+}
+
+// Project returns the schema containing s's columns at the given indexes.
+func (s *Schema) Project(idx []int) *Schema {
+	out := make([]Column, len(idx))
+	for i, j := range idx {
+		out[i] = s.cols[j]
+	}
+	return &Schema{cols: out}
+}
+
+// Rename returns a copy of s with every column re-qualified to table.
+func (s *Schema) Rename(table string) *Schema {
+	out := make([]Column, len(s.cols))
+	for i, c := range s.cols {
+		c.Table = table
+		out[i] = c
+	}
+	return &Schema{cols: out}
+}
+
+// RowWidth returns the nominal width in bytes of one row of this schema,
+// used for page accounting and network shipping costs.
+func (s *Schema) RowWidth() int {
+	w := 0
+	for _, c := range s.cols {
+		w += c.Type.Width()
+	}
+	if w == 0 {
+		w = 1
+	}
+	return w
+}
+
+// String renders the schema as "(t.a int, t.b string)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.QualifiedName())
+		b.WriteByte(' ')
+		b.WriteString(c.Type.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Equal reports whether two schemas have identical columns in order.
+func (s *Schema) Equal(t *Schema) bool {
+	if s.Len() != t.Len() {
+		return false
+	}
+	for i := range s.cols {
+		if s.cols[i] != t.cols[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,132 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"filterjoin/internal/value"
+)
+
+func sample() *Schema {
+	return New(
+		Column{Table: "t", Name: "a", Type: value.KindInt},
+		Column{Table: "t", Name: "b", Type: value.KindString},
+		Column{Table: "u", Name: "a", Type: value.KindFloat},
+	)
+}
+
+func TestIndexOfQualified(t *testing.T) {
+	s := sample()
+	if i, err := s.IndexOf("t", "a"); err != nil || i != 0 {
+		t.Errorf("t.a -> %d, %v", i, err)
+	}
+	if i, err := s.IndexOf("u", "a"); err != nil || i != 2 {
+		t.Errorf("u.a -> %d, %v", i, err)
+	}
+}
+
+func TestIndexOfUnqualifiedAmbiguous(t *testing.T) {
+	s := sample()
+	if _, err := s.IndexOf("", "a"); err == nil {
+		t.Error("unqualified 'a' is ambiguous")
+	}
+	if i, err := s.IndexOf("", "b"); err != nil || i != 1 {
+		t.Errorf("'b' -> %d, %v", i, err)
+	}
+}
+
+func TestIndexOfUnknown(t *testing.T) {
+	if _, err := sample().IndexOf("t", "zzz"); err == nil {
+		t.Error("unknown column must error")
+	}
+	if _, err := sample().IndexOf("zzz", "a"); err == nil {
+		t.Error("unknown qualifier must error")
+	}
+}
+
+func TestIndexOfCaseInsensitive(t *testing.T) {
+	s := sample()
+	if i, err := s.IndexOf("T", "B"); err != nil || i != 1 {
+		t.Errorf("case-insensitive lookup failed: %d, %v", i, err)
+	}
+}
+
+func TestMustIndexOfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustIndexOf should panic on unknown column")
+		}
+	}()
+	sample().MustIndexOf("", "nope")
+}
+
+func TestConcat(t *testing.T) {
+	a := New(Column{Name: "x", Type: value.KindInt})
+	b := New(Column{Name: "y", Type: value.KindBool})
+	c := a.Concat(b)
+	if c.Len() != 2 || c.Col(1).Name != "y" {
+		t.Errorf("Concat = %s", c)
+	}
+	if a.Len() != 1 {
+		t.Error("Concat must not mutate the receiver")
+	}
+}
+
+func TestProject(t *testing.T) {
+	s := sample()
+	p := s.Project([]int{2, 0})
+	if p.Len() != 2 || p.Col(0).Name != "a" || p.Col(0).Table != "u" {
+		t.Errorf("Project = %s", p)
+	}
+}
+
+func TestRename(t *testing.T) {
+	s := sample().Rename("E")
+	for i := 0; i < s.Len(); i++ {
+		if s.Col(i).Table != "E" {
+			t.Errorf("column %d not requalified", i)
+		}
+	}
+	if sample().Col(0).Table != "t" {
+		t.Error("Rename must not mutate the original")
+	}
+}
+
+func TestRowWidth(t *testing.T) {
+	if w := sample().RowWidth(); w != 8+16+8 {
+		t.Errorf("RowWidth = %d", w)
+	}
+	if w := New().RowWidth(); w < 1 {
+		t.Error("empty schema width must be positive")
+	}
+}
+
+func TestQualifiedName(t *testing.T) {
+	c := Column{Table: "t", Name: "a"}
+	if c.QualifiedName() != "t.a" {
+		t.Error("qualified")
+	}
+	c.Table = ""
+	if c.QualifiedName() != "a" {
+		t.Error("unqualified")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := New(Column{Table: "t", Name: "a", Type: value.KindInt})
+	if got := s.String(); !strings.Contains(got, "t.a int") {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestSchemaEqual(t *testing.T) {
+	if !sample().Equal(sample()) {
+		t.Error("identical schemas must be equal")
+	}
+	if sample().Equal(sample().Project([]int{0})) {
+		t.Error("different lengths must not be equal")
+	}
+	if sample().Equal(sample().Rename("z")) {
+		t.Error("different qualifiers must not be equal")
+	}
+}

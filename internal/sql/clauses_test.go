@@ -1,0 +1,136 @@
+package sql
+
+import (
+	"testing"
+
+	"filterjoin/internal/expr"
+)
+
+func TestParseHavingOrderLimit(t *testing.T) {
+	st, err := Parse(`SELECT E.did, COUNT(*) AS n FROM Emp E
+		GROUP BY E.did HAVING n > 2 ORDER BY n DESC, E.did LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := st.(*SelectStmt)
+	if sel.Having == nil {
+		t.Error("HAVING not parsed")
+	}
+	if len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Errorf("ORDER BY = %+v", sel.OrderBy)
+	}
+	if sel.Limit != 5 {
+		t.Errorf("LIMIT = %d", sel.Limit)
+	}
+}
+
+func TestParseOrderByAsc(t *testing.T) {
+	st, err := Parse("SELECT a FROM t ORDER BY a ASC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.(*SelectStmt).OrderBy[0].Desc {
+		t.Error("ASC parsed as DESC")
+	}
+}
+
+func TestParseLimitErrors(t *testing.T) {
+	for _, src := range []string{
+		"SELECT a FROM t LIMIT 0",
+		"SELECT a FROM t LIMIT -3",
+		"SELECT a FROM t LIMIT 'x'",
+		"SELECT a FROM t LIMIT 1.5",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestBindHaving(t *testing.T) {
+	b, err := bind(t, `SELECT E.did, COUNT(*) AS n FROM Emp E GROUP BY E.did HAVING n > 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Having == nil {
+		t.Fatal("Having not bound")
+	}
+	// Output layout: did at 0, n at 1.
+	cmp := b.Having.(expr.Cmp)
+	if cmp.L.(expr.Col).Idx != 1 {
+		t.Errorf("HAVING bound n to %d", cmp.L.(expr.Col).Idx)
+	}
+}
+
+func TestBindHavingErrors(t *testing.T) {
+	if _, err := bind(t, "SELECT E.eid FROM Emp E HAVING E.eid > 2"); err == nil {
+		t.Error("HAVING without aggregation must error")
+	}
+	if _, err := bind(t, "SELECT E.did, COUNT(*) AS n FROM Emp E GROUP BY E.did HAVING COUNT(*) > 2"); err == nil {
+		t.Error("raw aggregate calls in HAVING must direct the user to aliases")
+	}
+	if _, err := bind(t, "SELECT E.did, COUNT(*) AS n FROM Emp E GROUP BY E.did HAVING zzz > 2"); err == nil {
+		t.Error("unknown HAVING column must error")
+	}
+}
+
+func TestBindOrderBy(t *testing.T) {
+	b, err := bind(t, "SELECT E.eid AS id, E.sal FROM Emp E ORDER BY sal DESC, id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.OrderBy) != 2 {
+		t.Fatalf("OrderBy = %+v", b.OrderBy)
+	}
+	if b.OrderBy[0].Col != 1 || !b.OrderBy[0].Desc {
+		t.Errorf("first key = %+v", b.OrderBy[0])
+	}
+	if b.OrderBy[1].Col != 0 || b.OrderBy[1].Desc {
+		t.Errorf("second key = %+v", b.OrderBy[1])
+	}
+}
+
+func TestBindOrderByStarQualified(t *testing.T) {
+	b, err := bind(t, "SELECT * FROM Emp E ORDER BY E.sal DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.OrderBy[0].Col != 2 {
+		t.Errorf("E.sal bound to %d", b.OrderBy[0].Col)
+	}
+}
+
+func TestBindOrderByUnknown(t *testing.T) {
+	if _, err := bind(t, "SELECT E.eid FROM Emp E ORDER BY nope"); err == nil {
+		t.Error("unknown ORDER BY column must error")
+	}
+}
+
+func TestParseUnion(t *testing.T) {
+	st, err := Parse("SELECT a FROM t UNION ALL SELECT b FROM u UNION ALL SELECT c FROM v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	un := st.(*UnionStmt)
+	if len(un.Selects) != 3 || !un.All {
+		t.Errorf("parsed %+v", un)
+	}
+	st, err = Parse("SELECT a FROM t UNION SELECT b FROM u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.(*UnionStmt).All {
+		t.Error("plain UNION must deduplicate")
+	}
+	// Mixed collapses to distinct semantics.
+	st, err = Parse("SELECT a FROM t UNION ALL SELECT b FROM u UNION SELECT c FROM v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.(*UnionStmt).All {
+		t.Error("a plain UNION anywhere forces dedup")
+	}
+	if _, err := Parse("SELECT a FROM t UNION"); err == nil {
+		t.Error("dangling UNION must error")
+	}
+}

@@ -1,0 +1,167 @@
+// Package sql implements a small SQL front-end for the filterjoin
+// engine: a lexer, a recursive-descent parser, and a binder that turns
+// SELECT statements into query.Block logical plans. The dialect covers
+// what the paper's examples need — CREATE TABLE / CREATE VIEW / CREATE
+// INDEX / INSERT ... VALUES / SELECT-FROM-WHERE-GROUP BY with aggregate
+// functions and DISTINCT — and is exercised verbatim on the Fig 1 and
+// Fig 2 query texts.
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "<eof>"
+	case tokString:
+		return "'" + t.text + "'"
+	default:
+		return t.text
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes src, returning an error for unterminated strings or
+// unexpected bytes.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		ch := l.src[l.pos]
+		switch {
+		case isIdentStart(ch):
+			for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+		case ch >= '0' && ch <= '9':
+			sawDot := false
+			for l.pos < len(l.src) {
+				c := l.src[l.pos]
+				if c == '.' && !sawDot {
+					sawDot = true
+					l.pos++
+					continue
+				}
+				if c < '0' || c > '9' {
+					if c == 'e' || c == 'E' {
+						// Exponent: e[+-]?digits
+						j := l.pos + 1
+						if j < len(l.src) && (l.src[j] == '+' || l.src[j] == '-') {
+							j++
+						}
+						if j < len(l.src) && l.src[j] >= '0' && l.src[j] <= '9' {
+							l.pos = j
+							continue
+						}
+					}
+					break
+				}
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+		case ch == '\'':
+			l.pos++
+			var sb strings.Builder
+			for {
+				if l.pos >= len(l.src) {
+					return nil, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+				}
+				c := l.src[l.pos]
+				if c == '\'' {
+					if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+						sb.WriteByte('\'')
+						l.pos += 2
+						continue
+					}
+					l.pos++
+					break
+				}
+				sb.WriteByte(c)
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokString, text: sb.String(), pos: start})
+		case ch == '<':
+			if l.pos+1 < len(l.src) && (l.src[l.pos+1] == '=' || l.src[l.pos+1] == '>') {
+				l.pos += 2
+			} else {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokSymbol, text: l.src[start:l.pos], pos: start})
+		case ch == '>':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+				l.pos += 2
+			} else {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokSymbol, text: l.src[start:l.pos], pos: start})
+		case ch == '!':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+				l.pos += 2
+				l.toks = append(l.toks, token{kind: tokSymbol, text: "<>", pos: start})
+			} else {
+				return nil, fmt.Errorf("sql: unexpected '!' at offset %d", start)
+			}
+		case strings.ContainsRune("(),.*+-/=;", rune(ch)):
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokSymbol, text: string(ch), pos: start})
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", ch, start)
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// -- line comments
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

@@ -1,0 +1,668 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"filterjoin/internal/value"
+)
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses one SQL statement (an optional trailing semicolon is
+// allowed).
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	p.acceptSymbol(";")
+	if !p.atEOF() {
+		return nil, fmt.Errorf("sql: unexpected trailing input at %q", p.peek())
+	}
+	return st, nil
+}
+
+// ParseScript parses a semicolon-separated sequence of statements.
+func ParseScript(src string) ([]Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var out []Statement
+	for !p.atEOF() {
+		st, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+		if !p.acceptSymbol(";") {
+			break
+		}
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("sql: unexpected trailing input at %q", p.peek())
+	}
+	return out, nil
+}
+
+func (p *parser) atEOF() bool { return p.toks[p.pos].kind == tokEOF }
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) isKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.isKeyword(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("sql: expected %s, found %q", strings.ToUpper(kw), p.peek())
+	}
+	return nil
+}
+
+func (p *parser) acceptSymbol(sym string) bool {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == sym {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	if !p.acceptSymbol(sym) {
+		return fmt.Errorf("sql: expected %q, found %q", sym, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("sql: expected identifier, found %q", t)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+var reserved = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true, "by": true,
+	"and": true, "or": true, "not": true, "as": true, "distinct": true,
+	"create": true, "table": true, "view": true, "index": true, "on": true,
+	"insert": true, "into": true, "values": true, "order": true, "having": true,
+	"limit": true, "asc": true, "desc": true, "union": true, "all": true,
+}
+
+func (p *parser) statement() (Statement, error) {
+	switch {
+	case p.acceptKeyword("explain"):
+		analyze := p.acceptKeyword("analyze")
+		sel, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		if p.isKeyword("union") {
+			return nil, fmt.Errorf("sql: EXPLAIN supports a single SELECT")
+		}
+		return &ExplainStmt{Analyze: analyze, Select: sel}, nil
+	case p.isKeyword("create"):
+		return p.createStmt()
+	case p.isKeyword("insert"):
+		return p.insertStmt()
+	case p.isKeyword("select"):
+		sel, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		if !p.isKeyword("union") {
+			return sel, nil
+		}
+		u := &UnionStmt{Selects: []*SelectStmt{sel}, All: true}
+		sawPlain := false
+		for p.acceptKeyword("union") {
+			if p.acceptKeyword("all") {
+				// keep All semantics for this arm
+			} else {
+				sawPlain = true
+			}
+			next, err := p.selectStmt()
+			if err != nil {
+				return nil, err
+			}
+			u.Selects = append(u.Selects, next)
+		}
+		// Mixed UNION / UNION ALL collapses to distinct semantics, as in
+		// standard SQL left-associative evaluation with a final UNION.
+		u.All = !sawPlain
+		return u, nil
+	default:
+		return nil, fmt.Errorf("sql: expected CREATE, INSERT or SELECT, found %q", p.peek())
+	}
+}
+
+func (p *parser) createStmt() (Statement, error) {
+	p.acceptKeyword("create")
+	switch {
+	case p.acceptKeyword("table"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var cols []ColDef
+		for {
+			cn, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			tn, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			k, err := typeByName(tn)
+			if err != nil {
+				return nil, err
+			}
+			cols = append(cols, ColDef{Name: cn, Type: k})
+			if p.acceptSymbol(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return &CreateTable{Name: name, Cols: cols}, nil
+
+	case p.acceptKeyword("index"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("on"); err != nil {
+			return nil, err
+		}
+		tbl, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var cols []string
+		for {
+			cn, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			cols = append(cols, cn)
+			if p.acceptSymbol(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return &CreateIndex{Name: name, Table: tbl, Cols: cols}, nil
+
+	case p.acceptKeyword("view"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("as"); err != nil {
+			return nil, err
+		}
+		p.acceptSymbol("(")
+		hadParen := p.toks[p.pos-1].kind == tokSymbol && p.toks[p.pos-1].text == "("
+		sel, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		if hadParen {
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+		}
+		return &CreateView{Name: name, Select: sel}, nil
+	}
+	return nil, fmt.Errorf("sql: expected TABLE, INDEX or VIEW after CREATE, found %q", p.peek())
+}
+
+func typeByName(name string) (value.Kind, error) {
+	switch strings.ToLower(name) {
+	case "int", "integer", "bigint":
+		return value.KindInt, nil
+	case "float", "double", "real", "decimal", "numeric":
+		return value.KindFloat, nil
+	case "string", "varchar", "char", "text":
+		return value.KindString, nil
+	case "bool", "boolean":
+		return value.KindBool, nil
+	}
+	return 0, fmt.Errorf("sql: unknown type %q", name)
+}
+
+func (p *parser) insertStmt() (Statement, error) {
+	p.acceptKeyword("insert")
+	if err := p.expectKeyword("into"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("values"); err != nil {
+		return nil, err
+	}
+	var rows [][]value.Value
+	for {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var row []value.Value
+		for {
+			v, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+			if p.acceptSymbol(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	return &Insert{Table: name, Rows: rows}, nil
+}
+
+func (p *parser) literal() (value.Value, error) {
+	neg := false
+	if p.acceptSymbol("-") {
+		neg = true
+	}
+	t := p.peek()
+	switch {
+	case t.kind == tokNumber:
+		p.pos++
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return value.Null, fmt.Errorf("sql: bad number %q: %w", t.text, err)
+			}
+			if neg {
+				f = -f
+			}
+			return value.NewFloat(f), nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return value.Null, fmt.Errorf("sql: bad number %q: %w", t.text, err)
+		}
+		if neg {
+			i = -i
+		}
+		return value.NewInt(i), nil
+	case t.kind == tokString && !neg:
+		p.pos++
+		return value.NewString(t.text), nil
+	case t.kind == tokIdent && !neg:
+		switch strings.ToLower(t.text) {
+		case "true":
+			p.pos++
+			return value.NewBool(true), nil
+		case "false":
+			p.pos++
+			return value.NewBool(false), nil
+		case "null":
+			p.pos++
+			return value.Null, nil
+		}
+	}
+	return value.Null, fmt.Errorf("sql: expected literal, found %q", t)
+}
+
+func (p *parser) selectStmt() (*SelectStmt, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	st := &SelectStmt{}
+	if p.acceptKeyword("distinct") {
+		st.Distinct = true
+	}
+	if p.acceptSymbol("*") {
+		st.Star = true
+	} else {
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.acceptKeyword("as") {
+				a, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = a
+			} else if t := p.peek(); t.kind == tokIdent && !reserved[strings.ToLower(t.text)] {
+				item.Alias = t.text
+				p.pos++
+			}
+			st.Items = append(st.Items, item)
+			if p.acceptSymbol(",") {
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		ref := TableRef{Name: name}
+		if p.acceptKeyword("as") {
+			a, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ref.Alias = a
+		} else if t := p.peek(); t.kind == tokIdent && !reserved[strings.ToLower(t.text)] {
+			ref.Alias = t.text
+			p.pos++
+		}
+		st.From = append(st.From, ref)
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	if p.acceptKeyword("where") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	if p.acceptKeyword("group") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.columnRef()
+			if err != nil {
+				return nil, err
+			}
+			st.GroupBy = append(st.GroupBy, col)
+			if p.acceptSymbol(",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.acceptKeyword("having") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.Having = e
+	}
+	if p.acceptKeyword("order") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.columnRef()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderBy{Col: col}
+			if p.acceptKeyword("desc") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("asc")
+			}
+			st.OrderBy = append(st.OrderBy, item)
+			if p.acceptSymbol(",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.acceptKeyword("limit") {
+		v, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		if v.Kind() != value.KindInt || v.Int() < 1 {
+			return nil, fmt.Errorf("sql: LIMIT requires a positive integer")
+		}
+		st.Limit = int(v.Int())
+	}
+	return st, nil
+}
+
+func (p *parser) columnRef() (AColumn, error) {
+	a, err := p.ident()
+	if err != nil {
+		return AColumn{}, err
+	}
+	if p.acceptSymbol(".") {
+		b, err := p.ident()
+		if err != nil {
+			return AColumn{}, err
+		}
+		return AColumn{Table: a, Name: b}, nil
+	}
+	return AColumn{Name: a}, nil
+}
+
+// expr parses with precedence: OR < AND < NOT < comparison < addition <
+// multiplication < unary/primary.
+func (p *parser) expr() (AExpr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (AExpr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("or") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = ABinary{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (AExpr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("and") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = ABinary{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (AExpr, error) {
+	if p.acceptKeyword("not") {
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return ANot{X: x}, nil
+	}
+	return p.cmpExpr()
+}
+
+func (p *parser) cmpExpr() (AExpr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == tokSymbol {
+		switch t.text {
+		case "=", "<>", "<", "<=", ">", ">=":
+			p.pos++
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return ABinary{Op: t.text, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (AExpr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokSymbol && (t.text == "+" || t.text == "-") {
+			p.pos++
+			r, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = ABinary{Op: t.text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) mulExpr() (AExpr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokSymbol && (t.text == "*" || t.text == "/") {
+			p.pos++
+			r, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = ABinary{Op: t.text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) unaryExpr() (AExpr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokNumber || t.kind == tokString ||
+		(t.kind == tokSymbol && t.text == "-") ||
+		(t.kind == tokIdent && isLiteralIdent(t.text)):
+		v, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		return ALit{V: v}, nil
+
+	case t.kind == tokSymbol && t.text == "(":
+		p.pos++
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+
+	case t.kind == tokIdent:
+		name, _ := p.ident()
+		// Aggregate call?
+		if p.acceptSymbol("(") {
+			if p.acceptSymbol("*") {
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+				return ACall{Name: name, Star: true}, nil
+			}
+			arg, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return ACall{Name: name, Arg: arg}, nil
+		}
+		if p.acceptSymbol(".") {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return AColumn{Table: name, Name: col}, nil
+		}
+		return AColumn{Name: name}, nil
+	}
+	return nil, fmt.Errorf("sql: unexpected token %q in expression", t)
+}
+
+func isLiteralIdent(s string) bool {
+	switch strings.ToLower(s) {
+	case "true", "false", "null":
+		return true
+	}
+	return false
+}

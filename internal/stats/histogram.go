@@ -1,0 +1,127 @@
+package stats
+
+import "sort"
+
+// Histogram is an equi-height histogram over a numeric column. Buckets
+// hold approximately equal row counts; bucket boundaries adapt to skew,
+// which matters for the Fig-1 workload where a small fraction of
+// departments carries most employees.
+type Histogram struct {
+	bounds   []float64 // len B+1: bounds[i] .. bounds[i+1] is bucket i
+	counts   []int     // rows per bucket
+	distinct []int     // distinct values per bucket
+	total    int
+}
+
+// BuildHistogram builds an equi-height histogram with up to `buckets`
+// buckets from the (unsorted is fine) sample values. Returns nil for an
+// empty input.
+func BuildHistogram(values []float64, buckets int) *Histogram {
+	if len(values) == 0 || buckets < 1 {
+		return nil
+	}
+	vs := make([]float64, len(values))
+	copy(vs, values)
+	sort.Float64s(vs)
+	if buckets > len(vs) {
+		buckets = len(vs)
+	}
+	h := &Histogram{total: len(vs)}
+	per := len(vs) / buckets
+	rem := len(vs) % buckets
+	h.bounds = append(h.bounds, vs[0])
+	i := 0
+	for b := 0; b < buckets; b++ {
+		n := per
+		if b < rem {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		if i >= len(vs) {
+			break
+		}
+		end := i + n
+		if end > len(vs) {
+			end = len(vs)
+		}
+		// Do not split runs of equal values across buckets.
+		for end < len(vs) && vs[end] == vs[end-1] {
+			end++
+		}
+		seg := vs[i:end]
+		h.counts = append(h.counts, len(seg))
+		h.distinct = append(h.distinct, countDistinct(seg))
+		h.bounds = append(h.bounds, seg[len(seg)-1])
+		i = end
+		if i >= len(vs) {
+			break
+		}
+	}
+	return h
+}
+
+func countDistinct(sorted []float64) int {
+	d := 0
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			d++
+		}
+	}
+	return d
+}
+
+// Buckets returns the number of buckets.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// LessFraction estimates the fraction of rows with value < x.
+func (h *Histogram) LessFraction(x float64) float64 {
+	if h == nil || h.total == 0 {
+		return 0
+	}
+	if x <= h.bounds[0] {
+		return 0
+	}
+	if x > h.bounds[len(h.bounds)-1] {
+		return 1
+	}
+	acc := 0.0
+	for b := range h.counts {
+		lo, hi := h.bounds[b], h.bounds[b+1]
+		if x > hi {
+			acc += float64(h.counts[b])
+			continue
+		}
+		// x falls inside bucket b: linear interpolation.
+		if hi > lo {
+			acc += float64(h.counts[b]) * (x - lo) / (hi - lo)
+		}
+		break
+	}
+	return acc / float64(h.total)
+}
+
+// EqFraction estimates the fraction of rows with value == x.
+func (h *Histogram) EqFraction(x float64) float64 {
+	if h == nil || h.total == 0 {
+		return 0
+	}
+	if x < h.bounds[0] || x > h.bounds[len(h.bounds)-1] {
+		return 0
+	}
+	// Buckets never split a run of equal values, so the first bucket whose
+	// inclusive [lo, hi] range contains x holds every row equal to x.
+	for b := range h.counts {
+		lo, hi := h.bounds[b], h.bounds[b+1]
+		if x < lo || x > hi {
+			continue
+		}
+		d := h.distinct[b]
+		if d < 1 {
+			d = 1
+		}
+		return float64(h.counts[b]) / float64(d) / float64(h.total)
+	}
+	return 0
+}

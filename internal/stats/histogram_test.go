@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildHistogramEmpty(t *testing.T) {
+	if BuildHistogram(nil, 8) != nil {
+		t.Error("empty input yields nil histogram")
+	}
+	if BuildHistogram([]float64{1}, 0) != nil {
+		t.Error("zero buckets yields nil histogram")
+	}
+}
+
+func TestHistogramUniform(t *testing.T) {
+	vs := make([]float64, 1000)
+	for i := range vs {
+		vs[i] = float64(i)
+	}
+	h := BuildHistogram(vs, 16)
+	if h.Buckets() == 0 {
+		t.Fatal("no buckets")
+	}
+	if got := h.LessFraction(500); math.Abs(got-0.5) > 0.05 {
+		t.Errorf("LessFraction(500) = %g", got)
+	}
+	if h.LessFraction(-1) != 0 {
+		t.Error("below min is 0")
+	}
+	if h.LessFraction(2000) != 1 {
+		t.Error("above max is 1")
+	}
+	if got := h.EqFraction(500); math.Abs(got-0.001) > 0.002 {
+		t.Errorf("EqFraction(500) = %g, want ≈ 0.001", got)
+	}
+	if h.EqFraction(-5) != 0 || h.EqFraction(5000) != 0 {
+		t.Error("out-of-range equality is 0")
+	}
+}
+
+func TestHistogramSkewed(t *testing.T) {
+	// 90% of values are 0, the rest spread over 1..100.
+	var vs []float64
+	for i := 0; i < 900; i++ {
+		vs = append(vs, 0)
+	}
+	for i := 0; i < 100; i++ {
+		vs = append(vs, float64(1+i))
+	}
+	h := BuildHistogram(vs, 10)
+	if got := h.EqFraction(0); got < 0.5 {
+		t.Errorf("heavy hitter estimate = %g, want large", got)
+	}
+	if got := h.LessFraction(1); got < 0.8 {
+		t.Errorf("LessFraction(1) = %g, want ≈ 0.9", got)
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := BuildHistogram([]float64{7, 7, 7}, 4)
+	if h.LessFraction(7) != 0 {
+		t.Error("nothing below 7")
+	}
+	if h.LessFraction(8) != 1 {
+		t.Error("everything below 8")
+	}
+	if got := h.EqFraction(7); math.Abs(got-1) > 1e-9 {
+		t.Errorf("EqFraction(7) = %g", got)
+	}
+}
+
+func TestHistogramRunsNotSplit(t *testing.T) {
+	// More buckets than distinct values: runs must stay whole and the
+	// builder must not panic (regression test for the bucket-overrun bug).
+	var vs []float64
+	for i := 0; i < 5000; i++ {
+		if i < 250 {
+			vs = append(vs, 25)
+		} else {
+			vs = append(vs, 40)
+		}
+	}
+	h := BuildHistogram(vs, 32)
+	if got := h.EqFraction(25); math.Abs(got-0.05) > 0.01 {
+		t.Errorf("EqFraction(25) = %g, want 0.05", got)
+	}
+}
+
+func TestHistogramFractionsBoundedProperty(t *testing.T) {
+	f := func(seed int64, probe float64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(500)
+		vs := make([]float64, n)
+		for i := range vs {
+			vs[i] = math.Round(r.Float64()*100) / 2
+		}
+		h := BuildHistogram(vs, 1+r.Intn(40))
+		lf := h.LessFraction(probe)
+		ef := h.EqFraction(probe)
+		return lf >= 0 && lf <= 1 && ef >= 0 && ef <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramLessFractionMonotoneProperty(t *testing.T) {
+	f := func(seed int64, a, b float64) bool {
+		if a > b {
+			a, b = b, a
+		}
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(300)
+		vs := make([]float64, n)
+		for i := range vs {
+			vs[i] = r.Float64() * 50
+		}
+		h := BuildHistogram(vs, 8)
+		return h.LessFraction(a) <= h.LessFraction(b)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,98 @@
+package storage
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"filterjoin/internal/schema"
+	"filterjoin/internal/value"
+)
+
+// LoadCSV bulk-loads comma-separated records into the table, parsing
+// each field according to the table schema. An optional single header
+// row matching the column names (case-insensitive) is skipped. Empty
+// fields and the literal "null" load as NULL. Returns the number of
+// rows inserted; on a parse error, rows before the error remain
+// inserted and the error reports the offending line.
+func (t *Table) LoadCSV(r io.Reader) (int, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	n := 0
+	first := true
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, fmt.Errorf("storage: reading CSV for %s: %w", t.name, err)
+		}
+		if first {
+			first = false
+			if isHeader(rec, t.schema.Columns()) {
+				continue
+			}
+		}
+		if len(rec) != t.schema.Len() {
+			return n, fmt.Errorf("storage: CSV row has %d fields, table %s has %d columns",
+				len(rec), t.name, t.schema.Len())
+		}
+		row := make(value.Row, len(rec))
+		for i, field := range rec {
+			v, err := parseField(field, t.schema.Col(i).Type)
+			if err != nil {
+				return n, fmt.Errorf("storage: CSV field %d (%q) for %s.%s: %w",
+					i, field, t.name, t.schema.Col(i).Name, err)
+			}
+			row[i] = v
+		}
+		if err := t.Insert(row); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+func isHeader(rec []string, cols []schema.Column) bool {
+	if len(rec) != len(cols) {
+		return false
+	}
+	for i, f := range rec {
+		if !strings.EqualFold(strings.TrimSpace(f), cols[i].Name) {
+			return false
+		}
+	}
+	return true
+}
+
+func parseField(field string, kind value.Kind) (value.Value, error) {
+	s := strings.TrimSpace(field)
+	if s == "" || strings.EqualFold(s, "null") {
+		return value.Null, nil
+	}
+	switch kind {
+	case value.KindInt:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewInt(i), nil
+	case value.KindFloat:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewFloat(f), nil
+	case value.KindBool:
+		b, err := strconv.ParseBool(strings.ToLower(s))
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewBool(b), nil
+	default:
+		return value.NewString(s), nil
+	}
+}

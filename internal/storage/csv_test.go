@@ -1,0 +1,87 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+
+	"filterjoin/internal/schema"
+	"filterjoin/internal/value"
+)
+
+func csvTable() *Table {
+	return NewTable("t", schema.New(
+		schema.Column{Table: "t", Name: "id", Type: value.KindInt},
+		schema.Column{Table: "t", Name: "price", Type: value.KindFloat},
+		schema.Column{Table: "t", Name: "name", Type: value.KindString},
+		schema.Column{Table: "t", Name: "active", Type: value.KindBool},
+	))
+}
+
+func TestLoadCSVBasic(t *testing.T) {
+	tb := csvTable()
+	n, err := tb.LoadCSV(strings.NewReader("1,2.5,apple,true\n2,3.0,pear,false\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || tb.NumRows() != 2 {
+		t.Fatalf("loaded %d rows", n)
+	}
+	r := tb.Row(0)
+	if r[0].Int() != 1 || r[1].Float() != 2.5 || r[2].Str() != "apple" || !r[3].Bool() {
+		t.Errorf("row 0 = %v", r)
+	}
+}
+
+func TestLoadCSVHeaderSkipped(t *testing.T) {
+	tb := csvTable()
+	n, err := tb.LoadCSV(strings.NewReader("id,price,name,active\n7,1.0,x,true\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || tb.Row(0)[0].Int() != 7 {
+		t.Errorf("header not skipped: %d rows", n)
+	}
+}
+
+func TestLoadCSVNulls(t *testing.T) {
+	tb := csvTable()
+	n, err := tb.LoadCSV(strings.NewReader("1,,NULL,true\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatal("row not loaded")
+	}
+	r := tb.Row(0)
+	if !r[1].IsNull() || !r[2].IsNull() {
+		t.Errorf("nulls not parsed: %v", r)
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	tb := csvTable()
+	if _, err := tb.LoadCSV(strings.NewReader("1,2.5,apple\n")); err == nil {
+		t.Error("field-count mismatch must error")
+	}
+	tb = csvTable()
+	if _, err := tb.LoadCSV(strings.NewReader("notanint,1.0,x,true\n")); err == nil {
+		t.Error("type mismatch must error")
+	}
+	// Rows before the error stay loaded, and the count reflects them.
+	tb = csvTable()
+	n, err := tb.LoadCSV(strings.NewReader("1,1.0,x,true\nbad,1.0,x,true\n"))
+	if err == nil || n != 1 {
+		t.Errorf("partial load: n=%d err=%v", n, err)
+	}
+}
+
+func TestLoadCSVMaintainsIndexes(t *testing.T) {
+	tb := csvTable()
+	ix, _ := tb.CreateIndex("t_id", []int{0})
+	if _, err := tb.LoadCSV(strings.NewReader("5,1.0,x,true\n")); err != nil {
+		t.Fatal(err)
+	}
+	if len(ix.Lookup(value.Row{value.NewInt(5)})) != 1 {
+		t.Error("index not maintained by CSV load")
+	}
+}

@@ -1,0 +1,222 @@
+// Package udr implements join strategies over user-defined relations:
+// relations produced by calling a function with argument bindings (paper
+// §5.2). The strategies mirror Fig 6's rows for user-defined relations:
+// repeated procedure invocation, invocation with memoization (function
+// caching), and — via the Filter Join — consecutive invocation over the
+// distinct argument set, which eliminates duplicate calls entirely.
+package udr
+
+import (
+	"fmt"
+
+	"filterjoin/internal/catalog"
+	"filterjoin/internal/exec"
+	"filterjoin/internal/expr"
+	"filterjoin/internal/schema"
+	"filterjoin/internal/value"
+)
+
+// ProbeJoin joins an outer stream with a function-backed relation: for
+// every outer row it invokes the function with the outer's binding
+// columns as arguments. With Memo set, results are cached per distinct
+// argument combination so the function runs once per distinct binding
+// (but cache lookups still cost CPU).
+type ProbeJoin struct {
+	Outer       exec.Operator
+	Entry       *catalog.Entry
+	OuterArgIdx []int // positions in the outer row supplying the arguments
+	Residual    expr.Expr
+	Memo        bool
+	InnerAlias  string
+
+	innerSch *schema.Schema
+	out      *schema.Schema
+	cache    map[string][]value.Row
+	cur      value.Row
+	batch    []value.Row
+	pos      int
+	done     bool
+	calls    int64
+}
+
+// NewProbeJoin builds a repeated-probe join against a function relation.
+// OuterArgIdx[i] supplies the value of Entry.ArgCols[i].
+func NewProbeJoin(outer exec.Operator, e *catalog.Entry, outerArgIdx []int, residual expr.Expr, memo bool, innerAlias string) *ProbeJoin {
+	is := e.FnSchema
+	if innerAlias != "" {
+		is = is.Rename(innerAlias)
+	}
+	return &ProbeJoin{
+		Outer:       outer,
+		Entry:       e,
+		OuterArgIdx: outerArgIdx,
+		Residual:    residual,
+		Memo:        memo,
+		InnerAlias:  innerAlias,
+		innerSch:    is,
+		out:         outer.Schema().Concat(is),
+	}
+}
+
+// Schema implements exec.Operator.
+func (j *ProbeJoin) Schema() *schema.Schema { return j.out }
+
+// Open implements exec.Operator.
+func (j *ProbeJoin) Open(ctx *exec.Context) error {
+	j.cache = map[string][]value.Row{}
+	j.cur = nil
+	j.batch = nil
+	j.pos = 0
+	j.done = false
+	j.calls = 0
+	return j.Outer.Open(ctx)
+}
+
+// Calls reports how many function invocations the last execution made.
+func (j *ProbeJoin) Calls() int64 { return j.calls }
+
+func (j *ProbeJoin) invoke(ctx *exec.Context, args value.Row) ([]value.Row, error) {
+	if j.Memo {
+		k := args.FullKey()
+		if rows, ok := j.cache[k]; ok {
+			ctx.Counter.CPUTuples++ // cache hit lookup
+			return rows, nil
+		}
+		rows, err := j.call(ctx, args)
+		if err != nil {
+			return nil, err
+		}
+		j.cache[k] = rows
+		return rows, nil
+	}
+	return j.call(ctx, args)
+}
+
+func (j *ProbeJoin) call(ctx *exec.Context, args value.Row) ([]value.Row, error) {
+	ctx.Counter.FnCalls++
+	j.calls++
+	rows, err := j.Entry.Fn(args)
+	if err != nil {
+		return nil, fmt.Errorf("udr: invoking %s: %w", j.Entry.Name, err)
+	}
+	ctx.Counter.CPUTuples += int64(len(rows))
+	return rows, nil
+}
+
+// Next implements exec.Operator.
+func (j *ProbeJoin) Next(ctx *exec.Context) (value.Row, bool, error) {
+	if j.done {
+		return nil, false, nil
+	}
+	for {
+		if j.cur == nil {
+			r, ok, err := j.Outer.Next(ctx)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				j.done = true
+				return nil, false, nil
+			}
+			j.cur = r
+			args := r.Project(j.OuterArgIdx)
+			batch, err := j.invoke(ctx, args)
+			if err != nil {
+				return nil, false, err
+			}
+			j.batch = batch
+			j.pos = 0
+		}
+		if j.pos >= len(j.batch) {
+			j.cur = nil
+			continue
+		}
+		inner := j.batch[j.pos]
+		j.pos++
+		ctx.Counter.CPUTuples++
+		joined := j.cur.Concat(inner)
+		if j.Residual != nil {
+			keep, err := expr.EvalBool(j.Residual, joined)
+			if err != nil {
+				return nil, false, err
+			}
+			if !keep {
+				continue
+			}
+		}
+		return joined, true, nil
+	}
+}
+
+// Close implements exec.Operator.
+func (j *ProbeJoin) Close(ctx *exec.Context) error {
+	j.cache = nil
+	return j.Outer.Close(ctx)
+}
+
+// ConsecutiveScan is the Filter-Join access path for a function relation:
+// given the distinct argument set (the filter set), it invokes the
+// function once per distinct binding — consecutively, which is where the
+// paper's locality benefit comes from — and streams all resulting rows.
+type ConsecutiveScan struct {
+	Entry *catalog.Entry
+	Keys  *exec.KeySet
+	alias *schema.Schema
+	ki    int
+	batch []value.Row
+	pos   int
+	calls int64
+}
+
+// NewConsecutiveScan builds the consecutive-invocation scan.
+func NewConsecutiveScan(e *catalog.Entry, keys *exec.KeySet, innerAlias string) *ConsecutiveScan {
+	is := e.FnSchema
+	if innerAlias != "" {
+		is = is.Rename(innerAlias)
+	}
+	return &ConsecutiveScan{Entry: e, Keys: keys, alias: is}
+}
+
+// Schema implements exec.Operator.
+func (s *ConsecutiveScan) Schema() *schema.Schema { return s.alias }
+
+// Open implements exec.Operator.
+func (s *ConsecutiveScan) Open(*exec.Context) error {
+	s.ki = 0
+	s.batch = nil
+	s.pos = 0
+	s.calls = 0
+	return nil
+}
+
+// Calls reports how many invocations the last execution made.
+func (s *ConsecutiveScan) Calls() int64 { return s.calls }
+
+// Next implements exec.Operator.
+func (s *ConsecutiveScan) Next(ctx *exec.Context) (value.Row, bool, error) {
+	for {
+		if s.pos < len(s.batch) {
+			r := s.batch[s.pos]
+			s.pos++
+			ctx.Counter.CPUTuples++
+			return r, true, nil
+		}
+		keys := s.Keys.Rows()
+		if s.ki >= len(keys) {
+			return nil, false, nil
+		}
+		args := keys[s.ki]
+		s.ki++
+		ctx.Counter.FnCalls++
+		s.calls++
+		rows, err := s.Entry.Fn(args)
+		if err != nil {
+			return nil, false, fmt.Errorf("udr: invoking %s: %w", s.Entry.Name, err)
+		}
+		s.batch = rows
+		s.pos = 0
+	}
+}
+
+// Close implements exec.Operator.
+func (s *ConsecutiveScan) Close(*exec.Context) error { return nil }

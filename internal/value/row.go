@@ -1,0 +1,137 @@
+package value
+
+import "strings"
+
+// Row is a flat tuple of values.
+type Row []Value
+
+// Clone returns a copy of r that shares no storage with it.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Project returns a new row containing r's values at the given indexes.
+func (r Row) Project(idx []int) Row {
+	out := make(Row, len(idx))
+	for i, j := range idx {
+		out[i] = r[j]
+	}
+	return out
+}
+
+// Concat returns the concatenation of r followed by s as a new row.
+func (r Row) Concat(s Row) Row {
+	out := make(Row, 0, len(r)+len(s))
+	out = append(out, r...)
+	return append(out, s...)
+}
+
+// Key returns a canonical string key for the projection of r onto idx,
+// suitable for use as a map key in hash joins and distinct projection.
+// Numerically equal ints and floats map to the same key.
+func (r Row) Key(idx []int) string {
+	var b strings.Builder
+	for _, j := range idx {
+		writeKey(&b, r[j])
+	}
+	return b.String()
+}
+
+// FullKey returns a canonical string key over all of r's values.
+func (r Row) FullKey() string {
+	var b strings.Builder
+	for _, v := range r {
+		writeKey(&b, v)
+	}
+	return b.String()
+}
+
+func writeKey(b *strings.Builder, v Value) {
+	switch v.kind {
+	case KindNull:
+		b.WriteByte('n')
+	case KindInt:
+		b.WriteByte('i')
+		writeInt(b, v.i)
+	case KindFloat:
+		if v.f == float64(int64(v.f)) {
+			b.WriteByte('i')
+			writeInt(b, int64(v.f))
+		} else {
+			b.WriteByte('f')
+			b.WriteString(v.String())
+		}
+	case KindString:
+		b.WriteByte('s')
+		writeInt(b, int64(len(v.s)))
+		b.WriteByte(':')
+		b.WriteString(v.s)
+	case KindBool:
+		if v.b {
+			b.WriteString("bt")
+		} else {
+			b.WriteString("bf")
+		}
+	}
+	b.WriteByte('|')
+}
+
+func writeInt(b *strings.Builder, v int64) {
+	if v < 0 {
+		b.WriteByte('-')
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	b.Write(buf[i:])
+}
+
+// HashKey hashes the projection of r onto idx.
+func (r Row) HashKey(idx []int) uint64 {
+	var h uint64 = 1469598103934665603 // FNV offset basis
+	for _, j := range idx {
+		h ^= r[j].Hash()
+		h *= 1099511628211
+	}
+	return h
+}
+
+// String renders the row as a parenthesized value list.
+func (r Row) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range r {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// CompareRows orders two rows lexicographically over the given indexes.
+// Index j in keyIdx refers into both rows; descending[i], when provided,
+// flips the order of the i-th key.
+func CompareRows(a, b Row, keyIdx []int, descending []bool) int {
+	for i, j := range keyIdx {
+		c := Compare(a[j], b[j])
+		if len(descending) > i && descending[i] {
+			c = -c
+		}
+		if c != 0 {
+			return c
+		}
+	}
+	return 0
+}

@@ -1,0 +1,278 @@
+// Package value defines the typed scalar values and rows that flow through
+// the filterjoin engine. Values are small immutable variants over int64,
+// float64, string, bool and NULL; rows are flat slices of values.
+//
+// The package also provides total ordering, equality and hashing over
+// values, which the execution operators (hash joins, distinct projection,
+// sorting) and the statistics layer build on.
+package value
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+// The supported value kinds.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Width returns the nominal storage width in bytes of a value of this kind,
+// used by the page-accounting storage layer and the cost model. Strings use
+// a fixed nominal width; actual string contents do not change page math,
+// which keeps cost estimates deterministic.
+func (k Kind) Width() int {
+	switch k {
+	case KindInt, KindFloat:
+		return 8
+	case KindBool:
+		return 1
+	case KindString:
+		return 16
+	default:
+		return 1
+	}
+}
+
+// Value is a typed scalar. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	b    bool
+}
+
+// Null is the NULL value.
+var Null = Value{}
+
+// NewInt returns an integer value.
+func NewInt(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// NewFloat returns a floating-point value.
+func NewFloat(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// NewString returns a string value.
+func NewString(v string) Value { return Value{kind: KindString, s: v} }
+
+// NewBool returns a boolean value.
+func NewBool(v bool) Value { return Value{kind: KindBool, b: v} }
+
+// Kind reports the dynamic type of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Int returns the integer payload. It panics if v is not an int.
+func (v Value) Int() int64 {
+	if v.kind != KindInt {
+		panic(fmt.Sprintf("value: Int() on %s", v.kind))
+	}
+	return v.i
+}
+
+// Float returns the float payload. It panics if v is not a float.
+func (v Value) Float() float64 {
+	if v.kind != KindFloat {
+		panic(fmt.Sprintf("value: Float() on %s", v.kind))
+	}
+	return v.f
+}
+
+// Str returns the string payload. It panics if v is not a string.
+func (v Value) Str() string {
+	if v.kind != KindString {
+		panic(fmt.Sprintf("value: Str() on %s", v.kind))
+	}
+	return v.s
+}
+
+// Bool returns the boolean payload. It panics if v is not a bool.
+func (v Value) Bool() bool {
+	if v.kind != KindBool {
+		panic(fmt.Sprintf("value: Bool() on %s", v.kind))
+	}
+	return v.b
+}
+
+// AsFloat converts numeric values to float64 for arithmetic and aggregation.
+// The second result is false if v is not numeric.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i), true
+	case KindFloat:
+		return v.f, true
+	default:
+		return 0, false
+	}
+}
+
+// Numeric reports whether v is an int or a float.
+func (v Value) Numeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// String renders v for display.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindBool:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	default:
+		return "?"
+	}
+}
+
+// Compare totally orders a and b: -1 if a<b, 0 if equal, +1 if a>b.
+// NULL sorts before every non-NULL value. Ints and floats compare
+// numerically across kinds. Comparing a non-numeric kind against a
+// different non-matching kind orders by kind tag, which gives a stable
+// (if arbitrary) total order for sorting heterogeneous columns.
+func Compare(a, b Value) int {
+	if a.kind == KindNull || b.kind == KindNull {
+		switch {
+		case a.kind == KindNull && b.kind == KindNull:
+			return 0
+		case a.kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if a.Numeric() && b.Numeric() {
+		af, _ := a.AsFloat()
+		bf, _ := b.AsFloat()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if a.kind != b.kind {
+		if a.kind < b.kind {
+			return -1
+		}
+		return 1
+	}
+	switch a.kind {
+	case KindString:
+		switch {
+		case a.s < b.s:
+			return -1
+		case a.s > b.s:
+			return 1
+		default:
+			return 0
+		}
+	case KindBool:
+		switch {
+		case a.b == b.b:
+			return 0
+		case !a.b:
+			return -1
+		default:
+			return 1
+		}
+	default:
+		return 0
+	}
+}
+
+// Equal reports whether a and b compare equal. NULL is not equal to
+// anything, including NULL (SQL semantics); use Compare for sort equality.
+func Equal(a, b Value) bool {
+	if a.kind == KindNull || b.kind == KindNull {
+		return false
+	}
+	return Compare(a, b) == 0
+}
+
+// Hash returns a 64-bit hash of v. Numerically equal ints and floats hash
+// identically so that cross-kind equi-joins work.
+func (v Value) Hash() uint64 {
+	h := fnv.New64a()
+	var buf [9]byte
+	switch v.kind {
+	case KindNull:
+		buf[0] = 0
+		h.Write(buf[:1])
+	case KindInt:
+		buf[0] = 1
+		putUint64(buf[1:], uint64(v.i))
+		h.Write(buf[:9])
+	case KindFloat:
+		if v.f == math.Trunc(v.f) && v.f >= math.MinInt64 && v.f <= math.MaxInt64 {
+			// Hash integral floats as ints for cross-kind equality.
+			buf[0] = 1
+			putUint64(buf[1:], uint64(int64(v.f)))
+			h.Write(buf[:9])
+		} else {
+			buf[0] = 2
+			putUint64(buf[1:], math.Float64bits(v.f))
+			h.Write(buf[:9])
+		}
+	case KindString:
+		buf[0] = 3
+		h.Write(buf[:1])
+		h.Write([]byte(v.s))
+	case KindBool:
+		buf[0] = 4
+		if v.b {
+			buf[1] = 1
+		}
+		h.Write(buf[:2])
+	}
+	return h.Sum64()
+}
+
+func putUint64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
