@@ -23,6 +23,7 @@ import (
 	filterjoin "filterjoin"
 	"filterjoin/internal/core"
 	"filterjoin/internal/magic"
+	"filterjoin/internal/opt"
 	"filterjoin/internal/plan"
 	"filterjoin/internal/query"
 	"filterjoin/internal/sql"
@@ -31,6 +32,10 @@ import (
 func main() {
 	demo := flag.Bool("demo", false, "load the built-in Fig 1 demo data before running")
 	file := flag.String("f", "", "SQL script file (default: stdin)")
+	analyze := flag.Bool("analyze", false, "print EXPLAIN ANALYZE for each SELECT: per-operator est/act rows, cost, and wall time")
+	errRatio := flag.Float64("err-ratio", 0, "flag operators whose est/act row ratio exceeds this (default 10, with -analyze)")
+	trace := flag.Bool("trace", false, "print the optimizer search trace (DP subsets, candidates kept/pruned, coster cache)")
+	traceJSON := flag.Bool("trace-json", false, "like -trace, but render the trace as JSON")
 	flag.Parse()
 
 	var src string
@@ -65,22 +70,47 @@ func main() {
 		}
 	}
 
+	opts := cliOpts{
+		analyze:   *analyze,
+		errRatio:  *errRatio,
+		trace:     *trace,
+		traceJSON: *traceJSON,
+	}
+
 	stmts, err := sql.ParseScript(src)
 	if err != nil {
 		fatal(err)
 	}
 	for _, st := range stmts {
-		sel, isSelect := st.(*sql.SelectStmt)
-		if !isSelect {
+		switch s := st.(type) {
+		case *sql.SelectStmt:
+			if err := explainSelect(dbFJ, dbPlain, s, opts); err != nil {
+				fatal(err)
+			}
+		case *sql.ExplainStmt:
+			// An explicit EXPLAIN [ANALYZE] statement: print its plan
+			// text rather than routing through the side-by-side demo.
+			res, err := execStmt(dbFJ, st)
+			if err != nil {
+				fatal(err)
+			}
+			for _, r := range res.Rows {
+				fmt.Println(r[0].Str())
+			}
+		default:
 			if err := runDDL(dbFJ, dbPlain, st); err != nil {
 				fatal(err)
 			}
-			continue
-		}
-		if err := explainSelect(dbFJ, dbPlain, sel); err != nil {
-			fatal(err)
 		}
 	}
+}
+
+// cliOpts carries the observability flags into explainSelect.
+type cliOpts struct {
+	analyze   bool
+	errRatio  float64
+	trace     bool
+	traceJSON bool
 }
 
 func isTerminalLike() bool {
@@ -104,7 +134,7 @@ func execStmt(db *filterjoin.DB, st sql.Statement) (*filterjoin.Result, error) {
 	return db.ExecParsed(st)
 }
 
-func explainSelect(dbFJ, dbPlain *filterjoin.DB, sel *sql.SelectStmt) error {
+func explainSelect(dbFJ, dbPlain *filterjoin.DB, sel *sql.SelectStmt, opts cliOpts) error {
 	block, err := sql.BindSelect(dbFJ.Catalog(), sel)
 	if err != nil {
 		return err
@@ -116,9 +146,27 @@ func explainSelect(dbFJ, dbPlain *filterjoin.DB, sel *sql.SelectStmt) error {
 	fmt.Printf("----------------------------------------------------------------\n")
 	fmt.Printf("QUERY:\n%s\n\n", text)
 
+	var tracer *opt.CollectingTracer
+	if opts.trace || opts.traceJSON {
+		tracer = &opt.CollectingTracer{}
+		dbFJ.Optimizer().Tracer = tracer
+		defer func() { dbFJ.Optimizer().Tracer = nil }()
+	}
 	pFJ, err := dbFJ.PlanBlock(block)
 	if err != nil {
 		return err
+	}
+	if tracer != nil {
+		if opts.traceJSON {
+			js, err := tracer.JSON()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("OPTIMIZER TRACE (filter join enabled):\n%s\n\n", js)
+		} else {
+			fmt.Printf("OPTIMIZER TRACE (filter join enabled):\n%s%s\n",
+				tracer.Text(), tracer.Summary())
+		}
 	}
 	fmt.Printf("PLAN (filter join enabled):\n%s\n", plan.Format(pFJ, dbFJ.Model()))
 
@@ -139,6 +187,13 @@ func explainSelect(dbFJ, dbPlain *filterjoin.DB, sel *sql.SelectStmt) error {
 	resPlain, err := dbPlain.RunPlan(pPlain)
 	if err != nil {
 		return err
+	}
+	if opts.analyze {
+		aopts := plan.AnalyzeOptions{ShowTime: true, ErrRatio: opts.errRatio}
+		fmt.Printf("EXPLAIN ANALYZE (filter join enabled):\n%s\n",
+			plan.FormatAnalyze(pFJ, dbFJ.Model(), resFJ.Stats(), resFJ.Cost, aopts))
+		fmt.Printf("EXPLAIN ANALYZE (filter join disabled):\n%s\n",
+			plan.FormatAnalyze(pPlain, dbPlain.Model(), resPlain.Stats(), resPlain.Cost, aopts))
 	}
 	fmt.Printf("rows: %d   measured cost: with FJ %.1f, without %.1f\n\n",
 		len(resFJ.Rows), dbFJ.TotalCost(resFJ), dbPlain.TotalCost(resPlain))

@@ -1,0 +1,157 @@
+package filterjoin_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	filterjoin "filterjoin"
+	"filterjoin/internal/core"
+	"filterjoin/internal/cost"
+	"filterjoin/internal/datagen"
+	"filterjoin/internal/exec"
+	"filterjoin/internal/opt"
+	"filterjoin/internal/plan"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata golden files with the current output")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s (run `go test -run TestExplainGolden -update` to create): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("%s mismatch\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// quickstartDB loads the quickstart example's deterministic schema and
+// data (6000 employees over 150 departments, formula-generated).
+func quickstartDB(t *testing.T) *filterjoin.DB {
+	t.Helper()
+	db := filterjoin.Open(filterjoin.Config{})
+	if err := db.ExecScript(`
+		CREATE TABLE Emp (eid int, did int, sal float, age int);
+		CREATE TABLE Dept (did int, budget int);
+		CREATE INDEX emp_did ON Emp (did);
+		CREATE VIEW DepAvgSal AS
+		  (SELECT E.did, AVG(E.sal) AS avgsal FROM Emp E GROUP BY E.did);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	b.WriteString("INSERT INTO Emp VALUES ")
+	const nEmp, nDept = 6000, 150
+	for i := 0; i < nEmp; i++ {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		age := 31 + (i*13)%30
+		if i%4 == 0 {
+			age = 21 + i%9
+		}
+		fmt.Fprintf(&b, "(%d,%d,%d.0,%d)", i, i*nDept/nEmp, 1000+(i*37)%5000, age)
+	}
+	b.WriteString("; INSERT INTO Dept VALUES ")
+	for d := 0; d < nDept; d++ {
+		if d > 0 {
+			b.WriteString(",")
+		}
+		budget := 20000 + (d*211)%70000
+		if d%20 == 0 {
+			budget = 150000
+		}
+		fmt.Fprintf(&b, "(%d,%d)", d, budget)
+	}
+	b.WriteString(";")
+	if err := db.ExecScript(b.String()); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+const quickstartQuery = `
+	SELECT E.did, E.sal, V.avgsal
+	FROM Emp E, Dept D, DepAvgSal V
+	WHERE E.did = D.did AND E.did = V.did AND E.sal > V.avgsal
+	  AND E.age < 30 AND D.budget > 100000`
+
+func TestExplainGoldenQuickstart(t *testing.T) {
+	db := quickstartDB(t)
+	got, err := db.Explain(quickstartQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "quickstart_explain", got)
+}
+
+func TestExplainAnalyzeGoldenQuickstart(t *testing.T) {
+	db := quickstartDB(t)
+	got, err := db.ExplainAnalyze(quickstartQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "quickstart_explain_analyze", got)
+}
+
+// The SQL-level EXPLAIN/EXPLAIN ANALYZE statements render through the
+// same formatter; pin the statement-level shape too.
+func TestExplainStatementGoldenQuickstart(t *testing.T) {
+	db := quickstartDB(t)
+	for stmt, name := range map[string]string{
+		"EXPLAIN ":         "quickstart_stmt_explain",
+		"EXPLAIN ANALYZE ": "quickstart_stmt_explain_analyze",
+	} {
+		res, err := db.Query(stmt + quickstartQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, r := range res.Rows {
+			b.WriteString(r[0].Str())
+			b.WriteString("\n")
+		}
+		checkGolden(t, name, b.String())
+	}
+}
+
+// The distributed example's remote-view query (datagen seed 7), under a
+// network-heavy cost model that makes the Filter Join win.
+func TestExplainAnalyzeGoldenDistributed(t *testing.T) {
+	cat, err := datagen.DistCatalog(datagen.DefaultDist())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := cost.DefaultModel()
+	model.NetByte *= 25
+	model.NetMsg *= 25
+	o := opt.New(cat, model)
+	o.Register(core.NewMethod(core.Options{Bloom: true}))
+	p, err := o.OptimizeBlock(datagen.DistQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := exec.NewContext()
+	if _, err := exec.Drain(ctx, p.Make()); err != nil {
+		t.Fatal(err)
+	}
+	got := plan.FormatAnalyze(p, model, ctx.OperatorStats(), *ctx.Counter, plan.AnalyzeOptions{})
+	checkGolden(t, "distributed_explain_analyze", got)
+}

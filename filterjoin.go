@@ -111,7 +111,16 @@ type Result struct {
 	Rows    []value.Row
 	Cost    cost.Counter // measured execution cost counters
 	Plan    *plan.Node   // the plan that produced the rows
+
+	ops []*exec.OpStats // per-operator runtime profile, first-Open order
 }
+
+// Stats returns the per-operator runtime statistics recorded while the
+// result was produced (Open/Next/Close counts, rows, wall time, and the
+// per-operator cost.Counter delta), in first-Open order. Each entry's
+// Tag is the *plan.Node it executed, which may belong to a sub-plan the
+// Filter Join planned at run time rather than to Result.Plan.
+func (r *Result) Stats() []*exec.OpStats { return r.ops }
 
 // TotalCost weighs the measured counters under the DB's cost model.
 func (db *DB) TotalCost(r *Result) float64 { return db.model.Total(r.Cost) }
@@ -255,15 +264,17 @@ func (db *DB) execExplain(s *sql.ExplainStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	text := plan.Format(p, db.model)
-	text += fmt.Sprintf("estimated cost: %.2f  (%s)\n", p.Total(db.model), p.Est.String())
+	var text string
 	if s.Analyze {
 		res, err := db.runPlan(p)
 		if err != nil {
 			return nil, err
 		}
+		text = plan.FormatAnalyze(p, db.model, res.ops, res.Cost, plan.AnalyzeOptions{})
 		text += fmt.Sprintf("rows: %d\n", len(res.Rows))
-		text += fmt.Sprintf("measured cost:  %.2f  (%s)\n", db.model.Total(res.Cost), res.Cost.String())
+	} else {
+		text = plan.Format(p, db.model)
+		text += fmt.Sprintf("estimated cost: %.2f  (%s)\n", p.Total(db.model), p.Est.String())
 	}
 	out := &Result{Columns: []string{"plan"}, Plan: p}
 	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
@@ -294,6 +305,7 @@ func (db *DB) execUnion(u *sql.UnionStmt) (*Result, error) {
 				len(out.Columns), len(res.Columns))
 		}
 		out.Cost.Add(res.Cost)
+		out.ops = append(out.ops, res.ops...)
 		for _, r := range res.Rows {
 			if !u.All {
 				k := r.FullKey()
@@ -375,9 +387,16 @@ func (db *DB) Explain(text string) (string, error) {
 }
 
 // ExplainAnalyze optimizes and executes a SELECT, returning the plan
-// annotated with the optimizer's estimate next to the measured execution
-// counters.
+// tree annotated per operator with the optimizer's estimates next to
+// the measured rows and cost counters (deterministic: wall times are
+// collected in Result.Stats but not printed here).
 func (db *DB) ExplainAnalyze(text string) (string, error) {
+	return db.ExplainAnalyzeOpts(text, plan.AnalyzeOptions{})
+}
+
+// ExplainAnalyzeOpts is ExplainAnalyze with rendering options (show
+// per-operator wall time, tune the misestimate-flag ratio).
+func (db *DB) ExplainAnalyzeOpts(text string, opts plan.AnalyzeOptions) (string, error) {
 	p, err := db.Plan(text)
 	if err != nil {
 		return "", err
@@ -386,10 +405,8 @@ func (db *DB) ExplainAnalyze(text string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	out := plan.Format(p, db.model)
+	out := plan.FormatAnalyze(p, db.model, res.ops, res.Cost, opts)
 	out += fmt.Sprintf("rows: %d\n", len(res.Rows))
-	out += fmt.Sprintf("estimated cost: %.2f  (%s)\n", p.Total(db.model), p.Est.String())
-	out += fmt.Sprintf("measured cost:  %.2f  (%s)\n", db.model.Total(res.Cost), res.Cost.String())
 	return out, nil
 }
 
@@ -412,7 +429,7 @@ func (db *DB) runPlan(p *plan.Node) (*Result, error) {
 	for i := range cols {
 		cols[i] = p.OutSchema.Col(i).QualifiedName()
 	}
-	return &Result{Columns: cols, Rows: rows, Cost: *ctx.Counter, Plan: p}, nil
+	return &Result{Columns: cols, Rows: rows, Cost: *ctx.Counter, Plan: p, ops: ctx.OperatorStats()}, nil
 }
 
 // LoadCSV bulk-loads CSV data into a stored table (an optional header

@@ -1,0 +1,126 @@
+package filterjoin_test
+
+import (
+	"testing"
+
+	"filterjoin/internal/catalog"
+	"filterjoin/internal/core"
+	"filterjoin/internal/cost"
+	"filterjoin/internal/datagen"
+	"filterjoin/internal/exec"
+	"filterjoin/internal/opt"
+	"filterjoin/internal/query"
+)
+
+// The conservation property behind EXPLAIN ANALYZE: every cost unit the
+// execution charges is attributed to exactly one operator. For any plan
+// the optimizer emits, the per-operator exclusive ("Self") counter
+// deltas must sum to the execution context's root counter — across join
+// methods, re-opened inners, Filter Joins with deferred sub-planning,
+// remote shipping, and function probes.
+func checkConservation(t *testing.T, name string, cat *catalog.Catalog, b *query.Block, model cost.Model, fjOpts *core.Options) {
+	t.Helper()
+	o := opt.New(cat, model)
+	if fjOpts != nil {
+		o.Register(core.NewMethod(*fjOpts))
+	}
+	p, err := o.OptimizeBlock(b)
+	if err != nil {
+		t.Fatalf("%s: optimize: %v", name, err)
+	}
+	ctx := exec.NewContext()
+	if _, err := exec.Drain(ctx, p.Make()); err != nil {
+		t.Fatalf("%s: execute: %v", name, err)
+	}
+	ops := ctx.OperatorStats()
+	if len(ops) == 0 {
+		t.Fatalf("%s: no operator stats collected", name)
+	}
+	var sum cost.Counter
+	var rootIncl cost.Counter
+	for _, s := range ops {
+		sum.Add(s.Self())
+		if s.Tag == p {
+			rootIncl = s.Inclusive
+		}
+	}
+	if sum != *ctx.Counter {
+		t.Errorf("%s: sum of per-operator Self = %s, want root counter %s (plan:\n%s)",
+			name, sum.String(), ctx.Counter.String(), p.Kind)
+	}
+	if rootIncl != *ctx.Counter {
+		t.Errorf("%s: root operator Inclusive = %s, want root counter %s",
+			name, rootIncl.String(), ctx.Counter.String())
+	}
+}
+
+func TestCostAttributionConservation(t *testing.T) {
+	fig1, err := datagen.Fig1Catalog(datagen.DefaultFig1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	distCat, err := datagen.DistCatalog(datagen.DefaultDist())
+	if err != nil {
+		t.Fatal(err)
+	}
+	udrCat, _, err := datagen.UDRCatalog(datagen.DefaultUDR())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := cost.DefaultModel()
+	netHeavy := base
+	netHeavy.NetByte *= 25
+	netHeavy.NetMsg *= 25
+
+	fjConfigs := map[string]*core.Options{
+		"nofj":     nil,
+		"fj":       {},
+		"fj-bloom": {Bloom: true, AttrSubsets: true},
+		"fj-all":   {Bloom: true, AttrSubsets: true, IncludeStored: true, PrefixProductionSets: true},
+	}
+
+	type workload struct {
+		name  string
+		cat   *catalog.Catalog
+		block func() *query.Block
+		model cost.Model
+	}
+	workloads := []workload{
+		{"fig1", fig1, datagen.Fig1Query, base},
+		{"dist-view", distCat, datagen.DistQuery, netHeavy},
+		{"dist-base", distCat, datagen.DistBaseQuery, netHeavy},
+		{"udr", udrCat, datagen.UDRQuery, base},
+	}
+	for _, w := range workloads {
+		for cfgName, fjOpts := range fjConfigs {
+			t.Run(w.name+"/"+cfgName, func(t *testing.T) {
+				checkConservation(t, w.name+"/"+cfgName, w.cat, w.block(), w.model, fjOpts)
+			})
+		}
+	}
+}
+
+// The same property through the public facade, including a query whose
+// nested-loops join re-opens its inner and a UNION combining two arms.
+func TestCostAttributionConservationFacade(t *testing.T) {
+	db := quickstartDB(t)
+	queries := []string{
+		quickstartQuery,
+		`SELECT E.eid FROM Emp E WHERE E.age < 25`,
+		`SELECT E.did, V.avgsal FROM Emp E, DepAvgSal V WHERE E.did = V.did AND E.sal > V.avgsal`,
+	}
+	for _, q := range queries {
+		res, err := db.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		var sum cost.Counter
+		for _, s := range res.Stats() {
+			sum.Add(s.Self())
+		}
+		if sum != res.Cost {
+			t.Errorf("query %q: sum of Self = %s, want %s", q, sum.String(), res.Cost.String())
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 
 	"filterjoin/internal/bloom"
@@ -434,8 +435,16 @@ func (m *Method) buildCandidate(
 			}
 			m.costers[key] = vc
 			m.Metrics.CosterBuilds++
+			if c.O.Traces() {
+				c.O.Emit(opt.TraceEvent{Kind: opt.EvCosterBuild,
+					Detail: fmt.Sprintf("view %s attrs %v (%d sample points)", e.Name, innerLocal, len(vc.Points))})
+			}
 		} else {
 			m.Metrics.CosterHits++
+			if c.O.Traces() {
+				c.O.Emit(opt.TraceEvent{Kind: opt.EvCosterHit,
+					Detail: fmt.Sprintf("view %s attrs %v", e.Name, innerLocal)})
+			}
 		}
 		comp.FilterCostRk = vc.Cost(fSel)
 		restrictRows = vc.Rows(fSel) * ri.LocalSel
@@ -522,7 +531,14 @@ func (m *Method) buildCandidate(
 	if m.Trace != nil {
 		m.Trace(ch, model.TotalEstimate(comp.Total()))
 	}
-	return &plan.Node{
+	if c.O.Traces() {
+		c.O.Emit(opt.TraceEvent{Kind: opt.EvFJVariant,
+			Subset: c.RelSetName(outer.Rels.With(inner)),
+			Method: "filterjoin",
+			Detail: e.Name + ": " + ch.String(),
+			Cost:   model.TotalEstimate(comp.Total())})
+	}
+	return plan.NewNode(&plan.Node{
 		Kind:      "FilterJoin",
 		Detail:    e.Name + ": " + ch.String(),
 		Children:  []*plan.Node{outer},
@@ -534,7 +550,7 @@ func (m *Method) buildCandidate(
 		Rels:      outer.Rels.With(inner),
 		Make:      op.make,
 		Extra:     ch,
-	}, nil
+	}), nil
 }
 
 func coversArgs(argCols, innerLocal []int) bool {

@@ -24,15 +24,28 @@ import (
 )
 
 // Context carries per-execution state: the cost counter every operator
-// charges, and tunables.
+// charges, and the instrumentation registry maintained by Instrumented
+// shims.
 type Context struct {
 	Counter *cost.Counter
+
+	// ops collects the stats block of every Instrumented shim that ran
+	// under this context, in first-Open order.
+	ops []*OpStats
+	// stack tracks the shims currently inside a call, for parent/child
+	// cost attribution.
+	stack []*Instrumented
 }
 
 // NewContext returns a context with a fresh counter.
 func NewContext() *Context {
 	return &Context{Counter: &cost.Counter{}}
 }
+
+// OperatorStats returns the per-operator runtime statistics collected
+// so far, in first-Open order. The slice is live: entries keep
+// accumulating if execution continues.
+func (ctx *Context) OperatorStats() []*OpStats { return ctx.ops }
 
 // Operator is a restartable row iterator.
 type Operator interface {

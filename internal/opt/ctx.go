@@ -262,7 +262,7 @@ func (o *Optimizer) buildStoredLeaf(ctx *Ctx, ri *RelInfo) {
 	if localLocal != nil {
 		detail += " σ(" + localLocal.String() + ")"
 	}
-	ri.Access = &plan.Node{
+	ri.Access = plan.NewNode(&plan.Node{
 		Kind:      kind,
 		Detail:    detail,
 		Est:       est,
@@ -272,7 +272,7 @@ func (o *Optimizer) buildStoredLeaf(ctx *Ctx, ri *RelInfo) {
 		ColMap:    ri.ColMap,
 		Rels:      query.NewRelSet(ri.Index),
 		Make:      mk,
-	}
+	})
 }
 
 // conjuncts flattens a predicate into its top-level AND conjuncts.
@@ -413,7 +413,7 @@ func (o *Optimizer) buildViewLeaf(ctx *Ctx, ri *RelInfo) error {
 		mk = func() exec.Operator { return dist.NewShip(inner(), rowBytes) }
 		detail += fmt.Sprintf(" @site%d", ri.Entry.Site)
 	}
-	ri.Access = &plan.Node{
+	ri.Access = plan.NewNode(&plan.Node{
 		Kind:      "ViewScan",
 		Detail:    detail,
 		Children:  []*plan.Node{nested},
@@ -424,7 +424,7 @@ func (o *Optimizer) buildViewLeaf(ctx *Ctx, ri *RelInfo) error {
 		ColMap:    ri.ColMap,
 		Rels:      query.NewRelSet(ri.Index),
 		Make:      mk,
-	}
+	})
 	return nil
 }
 

@@ -2,6 +2,7 @@ package opt
 
 import (
 	"fmt"
+	"sort"
 
 	"filterjoin/internal/plan"
 	"filterjoin/internal/query"
@@ -22,6 +23,11 @@ func (o *Optimizer) runDP(ctx *Ctx) (*plan.Node, error) {
 			best[query.NewRelSet(i)] = ri.Access
 			o.Metrics.SubsetsExplored++
 			o.Metrics.PlansConsidered++
+			if o.Traces() {
+				o.trace(TraceEvent{Kind: EvLeaf, Subset: ctx.RelSetName(query.NewRelSet(i)),
+					Method: ri.Access.Kind, Detail: ri.Access.Detail,
+					Cost: ri.Access.Total(o.Model), Kept: true})
+			}
 		}
 	}
 	if len(best) == 0 {
@@ -42,6 +48,10 @@ func (o *Optimizer) runDP(ctx *Ctx) (*plan.Node, error) {
 				prev = append(prev, s)
 			}
 		}
+		// Deterministic exploration order: map iteration would otherwise
+		// let exact-cost ties break differently run to run, perturbing
+		// EXPLAIN output and traces.
+		sort.Slice(prev, func(a, b int) bool { return prev[a] < prev[b] })
 		for _, s := range prev {
 			outer := best[s]
 			exts := o.extensions(ctx, s, n)
@@ -67,8 +77,14 @@ func (o *Optimizer) runDP(ctx *Ctx) (*plan.Node, error) {
 					if !ok {
 						o.Metrics.SubsetsExplored++
 					}
-					if !ok || cand.Total(o.Model) < cur.Total(o.Model) {
+					kept := !ok || cand.Total(o.Model) < cur.Total(o.Model)
+					if kept {
 						best[ns] = cand
+					}
+					if o.Traces() {
+						o.trace(TraceEvent{Kind: EvCandidate, Subset: ctx.RelSetName(ns),
+							Method: cand.Kind, Detail: cand.Detail,
+							Cost: cand.Total(o.Model), Kept: kept})
 					}
 				}
 			}

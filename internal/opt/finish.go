@@ -29,7 +29,7 @@ func (o *Optimizer) finish(ctx *Ctx, joined *plan.Node) (*plan.Node, error) {
 		est := prev.Est
 		est.CPUTuples += prev.Rows
 		mk := prev.Make
-		node = &plan.Node{
+		node = plan.NewNode(&plan.Node{
 			Kind:      "Select",
 			Detail:    pred.String(),
 			Children:  []*plan.Node{prev},
@@ -40,7 +40,7 @@ func (o *Optimizer) finish(ctx *Ctx, joined *plan.Node) (*plan.Node, error) {
 			ColMap:    prev.ColMap,
 			Rels:      prev.Rels,
 			Make:      func() exec.Operator { return exec.NewSelect(mk(), pred) },
-		}
+		})
 	}
 
 	switch {
@@ -77,7 +77,7 @@ func (o *Optimizer) finish(ctx *Ctx, joined *plan.Node) (*plan.Node, error) {
 			st = st.Clone()
 			st.Rows = rows
 		}
-		node = &plan.Node{
+		node = plan.NewNode(&plan.Node{
 			Kind:      "Distinct",
 			Children:  []*plan.Node{prev},
 			Est:       est,
@@ -87,7 +87,7 @@ func (o *Optimizer) finish(ctx *Ctx, joined *plan.Node) (*plan.Node, error) {
 			ColMap:    prev.ColMap,
 			Rels:      prev.Rels,
 			Make:      func() exec.Operator { return exec.NewDistinct(mk()) },
-		}
+		})
 	}
 
 	if len(b.OrderBy) > 0 {
@@ -118,7 +118,7 @@ func (o *Optimizer) finish(ctx *Ctx, joined *plan.Node) (*plan.Node, error) {
 			}
 			est := prev.Est
 			est.CPUTuples += prev.Rows + float64(n)*lg2(float64(n)) + rows
-			node = &plan.Node{
+			node = plan.NewNode(&plan.Node{
 				Kind:      "TopN",
 				Detail:    fmt.Sprintf("%s limit %d", detail, n),
 				Children:  []*plan.Node{prev},
@@ -129,12 +129,12 @@ func (o *Optimizer) finish(ctx *Ctx, joined *plan.Node) (*plan.Node, error) {
 				ColMap:    prev.ColMap,
 				Rels:      prev.Rels,
 				Make:      func() exec.Operator { return exec.NewTopN(mk(), n, keys, desc) },
-			}
+			})
 			return node, nil
 		}
 		est := prev.Est
 		est.CPUTuples += prev.Rows*lg2(prev.Rows) + prev.Rows
-		node = &plan.Node{
+		node = plan.NewNode(&plan.Node{
 			Kind:      "Sort",
 			Detail:    detail,
 			Children:  []*plan.Node{prev},
@@ -145,7 +145,7 @@ func (o *Optimizer) finish(ctx *Ctx, joined *plan.Node) (*plan.Node, error) {
 			ColMap:    prev.ColMap,
 			Rels:      prev.Rels,
 			Make:      func() exec.Operator { return exec.NewSort(mk(), keys, desc) },
-		}
+		})
 	}
 
 	if b.Limit > 0 {
@@ -156,7 +156,7 @@ func (o *Optimizer) finish(ctx *Ctx, joined *plan.Node) (*plan.Node, error) {
 		}
 		mk := prev.Make
 		n := b.Limit
-		node = &plan.Node{
+		node = plan.NewNode(&plan.Node{
 			Kind:      "Limit",
 			Detail:    fmt.Sprintf("%d", n),
 			Children:  []*plan.Node{prev},
@@ -167,7 +167,7 @@ func (o *Optimizer) finish(ctx *Ctx, joined *plan.Node) (*plan.Node, error) {
 			ColMap:    prev.ColMap,
 			Rels:      prev.Rels,
 			Make:      func() exec.Operator { return exec.NewLimit(mk(), n) },
-		}
+		})
 	}
 	return node, nil
 }
@@ -197,7 +197,7 @@ func (o *Optimizer) finishHaving(ctx *Ctx, prev *plan.Node) (*plan.Node, error) 
 	}
 	mk := prev.Make
 	having := b.Having
-	return &plan.Node{
+	return plan.NewNode(&plan.Node{
 		Kind:      "Having",
 		Detail:    having.String(),
 		Children:  []*plan.Node{prev},
@@ -208,7 +208,7 @@ func (o *Optimizer) finishHaving(ctx *Ctx, prev *plan.Node) (*plan.Node, error) 
 		ColMap:    prev.ColMap,
 		Rels:      prev.Rels,
 		Make:      func() exec.Operator { return exec.NewSelect(mk(), having) },
-	}, nil
+	}), nil
 }
 
 func distinctRowsEstimate(n *plan.Node) float64 {
@@ -282,7 +282,7 @@ func (o *Optimizer) finishGroupBy(ctx *Ctx, prev *plan.Node) (*plan.Node, error)
 	}
 
 	mk := prev.Make
-	return &plan.Node{
+	return plan.NewNode(&plan.Node{
 		Kind:      "GroupBy",
 		Detail:    groupByDetail(ctx, b),
 		Children:  []*plan.Node{prev},
@@ -293,7 +293,7 @@ func (o *Optimizer) finishGroupBy(ctx *Ctx, prev *plan.Node) (*plan.Node, error)
 		ColMap:    colMap,
 		Rels:      prev.Rels,
 		Make:      func() exec.Operator { return exec.NewGroupBy(mk(), groupPos, aggs) },
-	}, nil
+	}), nil
 }
 
 func groupByDetail(ctx *Ctx, b *query.Block) string {
@@ -342,7 +342,7 @@ func (o *Optimizer) finishProject(ctx *Ctx, prev *plan.Node) (*plan.Node, error)
 	est := prev.Est
 	est.CPUTuples += prev.Rows
 	mk := prev.Make
-	return &plan.Node{
+	return plan.NewNode(&plan.Node{
 		Kind:      "Project",
 		Detail:    projDetail(b),
 		Children:  []*plan.Node{prev},
@@ -353,7 +353,7 @@ func (o *Optimizer) finishProject(ctx *Ctx, prev *plan.Node) (*plan.Node, error)
 		ColMap:    colMap,
 		Rels:      prev.Rels,
 		Make:      func() exec.Operator { return exec.NewProject(mk(), exprs, outSchema) },
-	}, nil
+	}), nil
 }
 
 func projDetail(b *query.Block) string {
@@ -397,7 +397,7 @@ func (o *Optimizer) identityProject(ctx *Ctx, prev *plan.Node) *plan.Node {
 	est.CPUTuples += prev.Rows
 	mk := prev.Make
 	outSchema := ctx.Layout.Schema
-	return &plan.Node{
+	return plan.NewNode(&plan.Node{
 		Kind:      "Project",
 		Detail:    "*",
 		Children:  []*plan.Node{prev},
@@ -408,5 +408,5 @@ func (o *Optimizer) identityProject(ctx *Ctx, prev *plan.Node) *plan.Node {
 		ColMap:    plan.IdentityColMap(width),
 		Rels:      prev.Rels,
 		Make:      func() exec.Operator { return exec.NewProject(mk(), exprs, outSchema) },
-	}
+	})
 }

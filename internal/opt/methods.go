@@ -111,7 +111,7 @@ func (c *Ctx) hashJoinCand(outer *plan.Node, ri *RelInfo, outerCols, innerCols [
 	est.CPUTuples += a.Rows + outer.Rows + rows
 	res := ResidualExpr(residual, combined)
 	outerMk, innerMk := outer.Make, a.Make
-	return &plan.Node{
+	return plan.NewNode(&plan.Node{
 		Kind:      "HashJoin",
 		Detail:    keyDetail(c, outerCols, innerCols),
 		Children:  []*plan.Node{outer, a},
@@ -124,7 +124,7 @@ func (c *Ctx) hashJoinCand(outer *plan.Node, ri *RelInfo, outerCols, innerCols [
 		Make: func() exec.Operator {
 			return exec.NewHashJoinProbeFirst(innerMk(), outerMk(), innerPos, outerPos, res)
 		},
-	}
+	})
 }
 
 func (c *Ctx) mergeJoinCand(outer *plan.Node, ri *RelInfo, outerCols, innerCols []int, residual []*PredInfo, rows float64, outStats *stats.RelStats, combined []int, rels queryRelSet) *plan.Node {
@@ -142,7 +142,7 @@ func (c *Ctx) mergeJoinCand(outer *plan.Node, ri *RelInfo, outerCols, innerCols 
 		2*(outer.Rows+a.Rows) + rows
 	res := ResidualExpr(residual, combined)
 	outerMk, innerMk := outer.Make, a.Make
-	return &plan.Node{
+	return plan.NewNode(&plan.Node{
 		Kind:      "MergeJoin",
 		Detail:    keyDetail(c, outerCols, innerCols),
 		Children:  []*plan.Node{outer, a},
@@ -155,7 +155,7 @@ func (c *Ctx) mergeJoinCand(outer *plan.Node, ri *RelInfo, outerCols, innerCols 
 		Make: func() exec.Operator {
 			return exec.NewMergeJoin(outerMk(), innerMk(), outerPos, innerPos, res)
 		},
-	}
+	})
 }
 
 func (c *Ctx) nljCand(outer *plan.Node, ri *RelInfo, preds []*PredInfo, rows float64, outStats *stats.RelStats, combined []int, rels queryRelSet) *plan.Node {
@@ -168,7 +168,7 @@ func (c *Ctx) nljCand(outer *plan.Node, ri *RelInfo, preds []*PredInfo, rows flo
 	pred := ResidualExpr(preds, combined)
 	outerMk, innerMk := outer.Make, a.Make
 	name := c.O.TempName("nlj")
-	return &plan.Node{
+	return plan.NewNode(&plan.Node{
 		Kind:      "NestedLoopJoin",
 		Detail:    predDetail(pred),
 		Children:  []*plan.Node{outer, a},
@@ -181,7 +181,7 @@ func (c *Ctx) nljCand(outer *plan.Node, ri *RelInfo, preds []*PredInfo, rows flo
 		Make: func() exec.Operator {
 			return exec.NewNestedLoopJoin(outerMk(), exec.NewMaterialize(innerMk(), name), pred)
 		},
-	}
+	})
 }
 
 func predDetail(p expr.Expr) string {
@@ -302,7 +302,7 @@ func (c *Ctx) indexNLCand(outer *plan.Node, ri *RelInfo, preds []*PredInfo, oute
 	est.CPUTuples += outer.Rows * (k + 1)
 	outerMk := outer.Make
 	t, alias := ri.Entry.Table, ri.Ref.Binding()
-	return &plan.Node{
+	return plan.NewNode(&plan.Node{
 		Kind:      "IndexNLJoin",
 		Detail:    fmt.Sprintf("%s via %s", keyDetail(c, outerCols, innerCols), ix.Name()),
 		Children:  []*plan.Node{outer},
@@ -315,7 +315,7 @@ func (c *Ctx) indexNLCand(outer *plan.Node, ri *RelInfo, preds []*PredInfo, oute
 		Make: func() exec.Operator {
 			return exec.NewIndexNLJoin(outerMk(), t, ix, outerPos, residual, alias)
 		},
-	}
+	})
 }
 
 func (c *Ctx) fetchMatchesCand(outer *plan.Node, ri *RelInfo, preds []*PredInfo, outerCols, innerCols []int, rows float64, outStats *stats.RelStats, combined []int, rels queryRelSet) *plan.Node {
@@ -336,7 +336,7 @@ func (c *Ctx) fetchMatchesCand(outer *plan.Node, ri *RelInfo, preds []*PredInfo,
 	est.CPUTuples += outer.Rows * (k + 1)
 	outerMk := outer.Make
 	alias := ri.Ref.Binding()
-	return &plan.Node{
+	return plan.NewNode(&plan.Node{
 		Kind:      "FetchMatches",
 		Detail:    fmt.Sprintf("%s @site%d", keyDetail(c, outerCols, innerCols), ri.Entry.Site),
 		Children:  []*plan.Node{outer},
@@ -349,7 +349,7 @@ func (c *Ctx) fetchMatchesCand(outer *plan.Node, ri *RelInfo, preds []*PredInfo,
 		Make: func() exec.Operator {
 			return dist.NewFetchMatchesJoin(outerMk(), t, ix, outerPos, residual, alias)
 		},
-	}
+	})
 }
 
 func (c *Ctx) funcProbeCands(outer *plan.Node, ri *RelInfo, preds []*PredInfo, outerCols, innerCols []int, rows float64, outStats *stats.RelStats, combined []int, rels queryRelSet) ([]*plan.Node, error) {
@@ -426,7 +426,7 @@ func (c *Ctx) funcProbeCands(outer *plan.Node, ri *RelInfo, preds []*PredInfo, o
 	est.FnCalls += outer.Rows
 	est.CPUTuples += outer.Rows*(perCall+1) + rows
 	if c.O.methodEnabled("funcprobe") {
-		nodes = append(nodes, &plan.Node{
+		nodes = append(nodes, plan.NewNode(&plan.Node{
 			Kind:      "FuncProbe",
 			Detail:    fmt.Sprintf("%s(%d args)", e.Name, len(e.ArgCols)),
 			Children:  []*plan.Node{outer},
@@ -439,7 +439,7 @@ func (c *Ctx) funcProbeCands(outer *plan.Node, ri *RelInfo, preds []*PredInfo, o
 			Make: func() exec.Operator {
 				return udr.NewProbeJoin(outerMk(), e, argPos, residual, false, alias)
 			},
-		})
+		}))
 	}
 	// Memoized invocation: one call per distinct binding.
 	if c.O.methodEnabled("funcprobememo") {
@@ -451,7 +451,7 @@ func (c *Ctx) funcProbeCands(outer *plan.Node, ri *RelInfo, preds []*PredInfo, o
 		estM := outer.Est
 		estM.FnCalls += d
 		estM.CPUTuples += outer.Rows + d*perCall + outer.Rows*perCall + rows
-		nodes = append(nodes, &plan.Node{
+		nodes = append(nodes, plan.NewNode(&plan.Node{
 			Kind:      "FuncProbeMemo",
 			Detail:    fmt.Sprintf("%s(%d args), ~%.0f distinct", e.Name, len(e.ArgCols), d),
 			Children:  []*plan.Node{outer},
@@ -464,7 +464,7 @@ func (c *Ctx) funcProbeCands(outer *plan.Node, ri *RelInfo, preds []*PredInfo, o
 			Make: func() exec.Operator {
 				return udr.NewProbeJoin(outerMk(), e, argPos, residual, true, alias)
 			},
-		})
+		}))
 	}
 	return nodes, nil
 }

@@ -59,6 +59,11 @@ type Optimizer struct {
 
 	Metrics Metrics
 
+	// Tracer, when set, observes the search: DP subsets explored, join
+	// candidates kept/pruned with their costs, nested optimizations,
+	// parametric-coster cache traffic, and Filter Join variants.
+	Tracer Tracer
+
 	extra         []JoinMethod
 	viewLeafCache map[string]*plan.Node
 	depth         int
@@ -112,6 +117,7 @@ func (o *Optimizer) OptimizeBlock(b *query.Block) (*plan.Node, error) {
 	defer func() { o.depth-- }()
 	if o.depth > 1 {
 		o.Metrics.NestedOptimizations++
+		o.trace(TraceEvent{Kind: EvNested, Depth: o.depth, Detail: blockDesc(b)})
 	}
 
 	ctx, err := o.newCtx(b)
