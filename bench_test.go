@@ -80,6 +80,9 @@ func BenchmarkE13PrefixProduction(b *testing.B) { benchExperiment(b, "E13") }
 // BenchmarkE14MultiView regenerates the multiple-views interaction table.
 func BenchmarkE14MultiView(b *testing.B) { benchExperiment(b, "E14") }
 
+// BenchmarkE15SortElision regenerates the interesting-orders table.
+func BenchmarkE15SortElision(b *testing.B) { benchExperiment(b, "E15") }
+
 // ---------------------------------------------------------------------
 // Engine micro-benchmarks
 // ---------------------------------------------------------------------

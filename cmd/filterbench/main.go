@@ -7,9 +7,11 @@
 //	filterbench             # run every experiment
 //	filterbench E6 E8       # run selected experiments
 //	filterbench -list       # list experiment ids and titles
+//	filterbench -json E15   # machine-readable reports (perf trajectory)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,8 +21,9 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
+	asJSON := flag.Bool("json", false, "emit reports as a JSON array instead of text tables")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: filterbench [-list] [experiment ids...]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: filterbench [-list] [-json] [experiment ids...]\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -47,6 +50,7 @@ func main() {
 	}
 
 	failed := 0
+	var reports []*experiments.Report
 	for _, e := range toRun {
 		r, err := e.Run()
 		if err != nil {
@@ -54,7 +58,19 @@ func main() {
 			failed++
 			continue
 		}
-		fmt.Println(r.String())
+		if *asJSON {
+			reports = append(reports, r)
+		} else {
+			fmt.Println(r.String())
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintf(os.Stderr, "filterbench: encoding reports: %v\n", err)
+			failed++
+		}
 	}
 	if failed > 0 {
 		os.Exit(1)

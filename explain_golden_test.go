@@ -132,6 +132,39 @@ func TestExplainStatementGoldenQuickstart(t *testing.T) {
 	}
 }
 
+// A fan-out self-join ordered by the join key: the order-aware memo
+// keeps the merge join's output order, so the final Sort is elided and
+// the plan carries an order=[...] annotation instead of a Sort node.
+const orderByElisionQuery = `
+	SELECT E.did, E.sal, F.sal
+	FROM Emp E, Emp F
+	WHERE E.did = F.did AND E.age < 25
+	ORDER BY E.did`
+
+func TestExplainGoldenOrderByElision(t *testing.T) {
+	db := quickstartDB(t)
+	got, err := db.Explain(orderByElisionQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(got, "Sort") {
+		t.Errorf("final sort should be elided:\n%s", got)
+	}
+	if !strings.Contains(got, "order=[") {
+		t.Errorf("plan should declare its retained order:\n%s", got)
+	}
+	checkGolden(t, "orderby_elision_explain", got)
+}
+
+func TestExplainAnalyzeGoldenOrderByElision(t *testing.T) {
+	db := quickstartDB(t)
+	got, err := db.ExplainAnalyze(orderByElisionQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "orderby_elision_explain_analyze", got)
+}
+
 // The distributed example's remote-view query (datagen seed 7), under a
 // network-heavy cost model that makes the Filter Join win.
 func TestExplainAnalyzeGoldenDistributed(t *testing.T) {

@@ -548,8 +548,13 @@ func (m *Method) buildCandidate(
 		OutSchema: outer.OutSchema.Concat(ri.Schema),
 		ColMap:    combined,
 		Rels:      outer.Rels.With(inner),
-		Make:      op.make,
-		Extra:     ch,
+		// The final join-back probes a hash of the restricted inner with
+		// the streamed outer, so the outer's physical order survives the
+		// Filter Join — extended across the equi-join columns — and magic
+		// plans compete in the same order-property buckets as direct joins.
+		Ordering: outer.Ordering.ExtendEquiv(allOuter, allInner),
+		Make:     op.make,
+		Extra:    ch,
 	}), nil
 }
 

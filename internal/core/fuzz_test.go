@@ -96,6 +96,15 @@ func randQuery(rng *rand.Rand, nTables int) *query.Block {
 		b.Preds = append(b.Preds, expr.NewCmp(expr.GE,
 			expr.NewCol(offsets[len(use)-1]+1, "GV.n"), expr.Int(1+int64(rng.Intn(3)))))
 	}
+	// Random ORDER BY over T0's columns (these queries have no projection,
+	// so output positions coincide with the block layout). This exercises
+	// the interesting-order memo and sort elision under every config.
+	if rng.Intn(2) == 0 {
+		b.OrderBy = append(b.OrderBy, query.OrderItem{Col: 0, Desc: rng.Intn(2) == 0})
+		if rng.Intn(2) == 0 {
+			b.OrderBy = append(b.OrderBy, query.OrderItem{Col: 1, Desc: rng.Intn(2) == 0})
+		}
+	}
 	return b
 }
 
@@ -118,18 +127,21 @@ func TestDifferentialRandomQueries(t *testing.T) {
 			name     string
 			fj       *core.Method
 			disabled []string
+			noOrder  bool
 		}{
-			{"plain", nil, nil},
-			{"fj", core.NewMethod(core.Options{}), nil},
+			{"plain", nil, nil, false},
+			{"fj", core.NewMethod(core.Options{}), nil, false},
 			{"fj-everything", core.NewMethod(core.Options{
 				IncludeStored: true, AttrSubsets: true, Bloom: true,
 				PrefixProductionSets: true,
-			}), nil},
-			{"fj-only-hash", core.NewMethod(core.Options{}), []string{"merge", "nlj", "indexnl"}},
+			}), nil, false},
+			{"fj-only-hash", core.NewMethod(core.Options{}), []string{"merge", "nlj", "indexnl"}, false},
+			{"fj-no-orderprops", core.NewMethod(core.Options{}), nil, true},
 		}
 		var want []string
 		for _, cfg := range configs {
 			o := opt.New(cat, model)
+			o.DisableOrderProps = cfg.noOrder
 			for _, d := range cfg.disabled {
 				o.Disabled[d] = true
 			}

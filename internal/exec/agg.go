@@ -25,6 +25,17 @@ type GroupBy struct {
 // NewGroupBy builds a hash aggregation operator. Output column names for
 // aggregates come from each spec's Name (or its String() if empty).
 func NewGroupBy(child Operator, groupIdx []int, aggs []expr.AggSpec) *GroupBy {
+	return &GroupBy{
+		Child:    child,
+		GroupIdx: groupIdx,
+		Aggs:     aggs,
+		out:      aggSchema(child, groupIdx, aggs),
+	}
+}
+
+// aggSchema is the output schema shared by both aggregation operators:
+// the group key columns followed by one column per aggregate.
+func aggSchema(child Operator, groupIdx []int, aggs []expr.AggSpec) *schema.Schema {
 	in := child.Schema()
 	cols := make([]schema.Column, 0, len(groupIdx)+len(aggs))
 	for _, g := range groupIdx {
@@ -37,12 +48,7 @@ func NewGroupBy(child Operator, groupIdx []int, aggs []expr.AggSpec) *GroupBy {
 		}
 		cols = append(cols, schema.Column{Name: name, Type: a.ResultType()})
 	}
-	return &GroupBy{
-		Child:    child,
-		GroupIdx: groupIdx,
-		Aggs:     aggs,
-		out:      schema.New(cols...),
-	}
+	return schema.New(cols...)
 }
 
 // Schema implements Operator.
@@ -142,4 +148,129 @@ func (g *GroupBy) Next(ctx *Context) (value.Row, bool, error) {
 func (g *GroupBy) Close(*Context) error {
 	g.results = nil
 	return nil
+}
+
+// StreamGroupBy is order-consuming aggregation: it requires its input to
+// arrive with equal group keys adjacent (any sort direction), keeps the
+// state of exactly one group at a time, and emits each group as soon as
+// its run of rows ends. Unlike GroupBy it never materializes the group
+// table, and its output preserves the input's group order.
+type StreamGroupBy struct {
+	Child    Operator
+	GroupIdx []int
+	Aggs     []expr.AggSpec
+	out      *schema.Schema
+
+	curKey  string
+	key     value.Row
+	states  []*expr.AggState
+	started bool
+	done    bool
+}
+
+// NewStreamGroupBy builds a streaming aggregation over grouped input.
+func NewStreamGroupBy(child Operator, groupIdx []int, aggs []expr.AggSpec) *StreamGroupBy {
+	return &StreamGroupBy{
+		Child:    child,
+		GroupIdx: groupIdx,
+		Aggs:     aggs,
+		out:      aggSchema(child, groupIdx, aggs),
+	}
+}
+
+// Schema implements Operator.
+func (g *StreamGroupBy) Schema() *schema.Schema { return g.out }
+
+// Open implements Operator.
+func (g *StreamGroupBy) Open(ctx *Context) error {
+	g.started = false
+	g.done = false
+	return g.Child.Open(ctx)
+}
+
+func (g *StreamGroupBy) begin(r value.Row, key string) {
+	g.curKey = key
+	g.key = r.Project(g.GroupIdx)
+	g.states = make([]*expr.AggState, len(g.Aggs))
+	for i, a := range g.Aggs {
+		g.states[i] = expr.NewAggState(a.Kind)
+	}
+	g.started = true
+}
+
+func (g *StreamGroupBy) accumulate(r value.Row) error {
+	for i, a := range g.Aggs {
+		var v value.Value
+		if a.Arg == nil {
+			v = value.NewInt(1) // COUNT(*)
+		} else {
+			var err error
+			v, err = a.Arg.Eval(r)
+			if err != nil {
+				return err
+			}
+		}
+		if err := g.states[i].Add(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *StreamGroupBy) emit(ctx *Context) value.Row {
+	ctx.Counter.CPUTuples++
+	out := make(value.Row, 0, len(g.GroupIdx)+len(g.Aggs))
+	out = append(out, g.key...)
+	for _, st := range g.states {
+		out = append(out, st.Result())
+	}
+	g.started = false
+	return out
+}
+
+// Next implements Operator.
+func (g *StreamGroupBy) Next(ctx *Context) (value.Row, bool, error) {
+	if g.done {
+		return nil, false, nil
+	}
+	for {
+		r, ok, err := g.Child.Next(ctx)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			g.done = true
+			if g.started {
+				return g.emit(ctx), true, nil
+			}
+			// Scalar aggregation over an empty input still yields one row.
+			if len(g.GroupIdx) == 0 {
+				g.begin(value.Row{}, "")
+				return g.emit(ctx), true, nil
+			}
+			return nil, false, nil
+		}
+		ctx.Counter.CPUTuples++
+		k := r.Key(g.GroupIdx)
+		if g.started && k != g.curKey {
+			out := g.emit(ctx)
+			g.begin(r, k)
+			if err := g.accumulate(r); err != nil {
+				return nil, false, err
+			}
+			return out, true, nil
+		}
+		if !g.started {
+			g.begin(r, k)
+		}
+		if err := g.accumulate(r); err != nil {
+			return nil, false, err
+		}
+	}
+}
+
+// Close implements Operator.
+func (g *StreamGroupBy) Close(ctx *Context) error {
+	g.states = nil
+	return g.Child.Close(ctx)
 }

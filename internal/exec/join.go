@@ -210,12 +210,16 @@ func (j *HashJoin) Close(ctx *Context) error {
 }
 
 // MergeJoin equi-joins two inputs that it sorts on Open (charging sort
-// CPU), then merges, handling duplicate key groups on both sides.
+// CPU), then merges, handling duplicate key groups on both sides. An
+// input already sorted on its keys ascending can be declared presorted,
+// which skips that side's sort entirely — the optimizer uses this when
+// a retained interesting order covers the merge keys.
 type MergeJoin struct {
-	Left, Right         Operator
-	LeftKeys, RightKeys []int
-	Residual            expr.Expr
-	out                 *schema.Schema
+	Left, Right                   Operator
+	LeftKeys, RightKeys           []int
+	Residual                      expr.Expr
+	LeftPresorted, RightPresorted bool
+	out                           *schema.Schema
 
 	lrows, rrows []value.Row
 	li, ri       int
@@ -240,16 +244,30 @@ func NewMergeJoin(left, right Operator, leftKeys, rightKeys []int, residual expr
 // Schema implements Operator.
 func (j *MergeJoin) Schema() *schema.Schema { return j.out }
 
+// NewMergeJoinPresorted builds a sort-merge equi-join that trusts the
+// flagged inputs to arrive sorted on their keys ascending.
+func NewMergeJoinPresorted(left, right Operator, leftKeys, rightKeys []int, residual expr.Expr, leftPresorted, rightPresorted bool) *MergeJoin {
+	j := NewMergeJoin(left, right, leftKeys, rightKeys, residual)
+	j.LeftPresorted, j.RightPresorted = leftPresorted, rightPresorted
+	return j
+}
+
+// mergeInput drains one side, sorting it unless declared presorted.
+func mergeInput(ctx *Context, child Operator, keys []int, presorted bool) ([]value.Row, error) {
+	if presorted {
+		return Drain(ctx, child)
+	}
+	return Drain(ctx, NewSort(child, keys, nil))
+}
+
 // Open implements Operator.
 func (j *MergeJoin) Open(ctx *Context) error {
-	ls := NewSort(j.Left, j.LeftKeys, nil)
-	rs := NewSort(j.Right, j.RightKeys, nil)
 	var err error
-	j.lrows, err = Drain(ctx, ls)
+	j.lrows, err = mergeInput(ctx, j.Left, j.LeftKeys, j.LeftPresorted)
 	if err != nil {
 		return err
 	}
-	j.rrows, err = Drain(ctx, rs)
+	j.rrows, err = mergeInput(ctx, j.Right, j.RightKeys, j.RightPresorted)
 	if err != nil {
 		return err
 	}

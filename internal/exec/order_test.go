@@ -1,0 +1,113 @@
+package exec
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"filterjoin/internal/expr"
+	"filterjoin/internal/value"
+)
+
+// sortedIntRows builds rows from vals sorted ascending on column 0.
+func sortedIntRows(vals [][]int64) []value.Row {
+	sort.Slice(vals, func(a, b int) bool { return vals[a][0] < vals[b][0] })
+	rows := make([]value.Row, len(vals))
+	for i, v := range vals {
+		rows[i] = intRows(v)[0]
+	}
+	return rows
+}
+
+func TestStreamGroupByMatchesHashOnSortedInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(50)
+		vals := make([][]int64, n)
+		for i := range vals {
+			vals[i] = []int64{int64(rng.Intn(8)), int64(rng.Intn(100))}
+		}
+		rows := sortedIntRows(vals)
+		s := intSchema("t", "g", "v")
+		aggs := []expr.AggSpec{
+			{Kind: expr.AggCount, Name: "n"},
+			{Kind: expr.AggSum, Arg: expr.NewCol(1, "v"), Name: "s"},
+			{Kind: expr.AggMin, Arg: expr.NewCol(1, "v"), Name: "mn"},
+			{Kind: expr.AggMax, Arg: expr.NewCol(1, "v"), Name: "mx"},
+		}
+		want, _ := drain(t, NewGroupBy(NewValues(s, rows), []int{0}, aggs))
+		got, _ := drain(t, NewStreamGroupBy(NewValues(s, rows), []int{0}, aggs))
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: stream emitted %d groups, hash %d", trial, len(got), len(want))
+		}
+		// Hash group-by emits sorted by serialized key; stream emits in
+		// input order, which on sorted input is also key order.
+		for i := range want {
+			if want[i].String() != got[i].String() {
+				t.Fatalf("trial %d group %d: stream %v, hash %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestStreamGroupByEmptyInput(t *testing.T) {
+	s := intSchema("t", "g", "v")
+	aggs := []expr.AggSpec{{Kind: expr.AggCount, Name: "n"}}
+	rows, _ := drain(t, NewStreamGroupBy(NewValues(s, nil), []int{0}, aggs))
+	if len(rows) != 0 {
+		t.Errorf("grouped aggregation over empty input must emit nothing, got %d", len(rows))
+	}
+	// Scalar aggregation (no grouping columns) still emits one row.
+	scalar, _ := drain(t, NewStreamGroupBy(NewValues(s, nil), nil, []expr.AggSpec{
+		{Kind: expr.AggCount, Name: "n"},
+		{Kind: expr.AggSum, Arg: expr.NewCol(1, "v"), Name: "s"},
+	}))
+	if len(scalar) != 1 || scalar[0][0].Int() != 0 || !scalar[0][1].IsNull() {
+		t.Errorf("scalar aggregation over empty input = %v", scalar)
+	}
+}
+
+func TestStreamGroupBySchemaMatchesHash(t *testing.T) {
+	s := intSchema("t", "g", "v")
+	aggs := []expr.AggSpec{{Kind: expr.AggSum, Arg: expr.NewCol(1, "v"), Name: "s"}}
+	h := NewGroupBy(NewValues(s, nil), []int{0}, aggs)
+	st := NewStreamGroupBy(NewValues(s, nil), []int{0}, aggs)
+	if h.Schema().String() != st.Schema().String() {
+		t.Errorf("schemas differ: hash %s, stream %s", h.Schema(), st.Schema())
+	}
+}
+
+func TestMergeJoinPresortedSkipsSortCost(t *testing.T) {
+	mk := func() ([]value.Row, []value.Row) {
+		rng := rand.New(rand.NewSource(7))
+		var l, r [][]int64
+		for i := 0; i < 200; i++ {
+			l = append(l, []int64{int64(rng.Intn(20)), int64(i)})
+		}
+		for i := 0; i < 100; i++ {
+			r = append(r, []int64{int64(rng.Intn(20)), int64(i * 3)})
+		}
+		return sortedIntRows(l), sortedIntRows(r)
+	}
+	ls, rs := mk()
+	lsch, rsch := intSchema("l", "k", "a"), intSchema("r", "k", "b")
+
+	plain := NewMergeJoin(NewValues(lsch, ls), NewValues(rsch, rs), []int{0}, []int{0}, nil)
+	wantRows, plainCost := drain(t, plain)
+
+	pre := NewMergeJoinPresorted(NewValues(lsch, ls), NewValues(rsch, rs), []int{0}, []int{0}, nil, true, true)
+	gotRows, preCost := drain(t, pre)
+
+	if len(gotRows) != len(wantRows) {
+		t.Fatalf("presorted join rows = %d, plain = %d", len(gotRows), len(wantRows))
+	}
+	for i := range wantRows {
+		if wantRows[i].String() != gotRows[i].String() {
+			t.Fatalf("row %d: presorted %v, plain %v", i, gotRows[i], wantRows[i])
+		}
+	}
+	if preCost.CPUTuples >= plainCost.CPUTuples {
+		t.Errorf("presorted merge join must charge less CPU: presorted=%d plain=%d",
+			preCost.CPUTuples, plainCost.CPUTuples)
+	}
+}

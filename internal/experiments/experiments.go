@@ -108,6 +108,7 @@ var Registry = []Entry{
 	{"E12", "Multi-attribute filter sets (Limitation 3 subsets)", E12AttrSubsets},
 	{"E13", "Ablation: Limitation 2 vs prefix production sets", E13PrefixProduction},
 	{"E14", "Multiple views in one query (§2.1 interaction)", E14MultiView},
+	{"E15", "Interesting orders: property memo and sort elision", E15SortElision},
 }
 
 // ByID finds an experiment by its id (case-insensitive).

@@ -64,6 +64,12 @@ type Ctx struct {
 	Layout *query.Layout
 	Rels   []*RelInfo
 	Preds  []*PredInfo
+
+	// interestingCols marks block columns whose sort order can matter
+	// downstream (merge keys, GROUP BY, ORDER BY provenance); the memo
+	// only distinguishes orderings over these columns. Empty when the
+	// property-aware memo is disabled.
+	interestingCols map[int]bool
 }
 
 func (o *Optimizer) newCtx(b *query.Block) (*Ctx, error) {
@@ -92,6 +98,7 @@ func (o *Optimizer) newCtx(b *query.Block) (*Ctx, error) {
 		ctx.Preds = append(ctx.Preds, pi)
 	}
 	ctx.closeEquiClasses()
+	ctx.computeInterestingCols()
 
 	// Build per-relation info and leaf access plans.
 	for i, ref := range b.Rels {
@@ -423,9 +430,37 @@ func (o *Optimizer) buildViewLeaf(ctx *Ctx, ri *RelInfo) error {
 		OutSchema: ri.Schema,
 		ColMap:    ri.ColMap,
 		Rels:      query.NewRelSet(ri.Index),
+		Ordering:  viewLeafOrdering(nested, ri),
 		Make:      mk,
 	})
 	return nil
+}
+
+// viewLeafOrdering translates an ordering the view's body delivers
+// (e.g. a view ending in a Sort) from the body's block layout into the
+// outer block's: each body column maps through the body plan's ColMap
+// to a view output position, which sits at ri.Offset in the outer
+// layout. Filters and Ship preserve row order, so the ViewScan keeps it.
+func viewLeafOrdering(nested *plan.Node, ri *RelInfo) plan.Ordering {
+	if len(nested.Ordering) == 0 {
+		return nil
+	}
+	var out plan.Ordering
+	for _, k := range nested.Ordering {
+		var cols []int
+		for _, c := range k.Cols {
+			if c >= 0 && c < len(nested.ColMap) {
+				if pos := nested.ColMap[c]; pos >= 0 && pos < ri.Width {
+					cols = append(cols, ri.Offset+pos)
+				}
+			}
+		}
+		if len(cols) == 0 {
+			break
+		}
+		out = append(out, plan.OrderKey{Cols: cols, Desc: k.Desc})
+	}
+	return out
 }
 
 func (o *Optimizer) buildFuncInfo(ctx *Ctx, ri *RelInfo) {

@@ -8,42 +8,141 @@ import (
 	"filterjoin/internal/query"
 )
 
-// runDP performs System R bottom-up dynamic programming over left-deep
-// join orders: the best plan is kept for every subset of relations, and
-// each subset of size k is built by extending a size-(k-1) subset with
-// one relation through every enabled join method. Cartesian products are
-// deferred: a subset is extended with unconnected relations only when no
-// predicate-connected extension exists.
-func (o *Optimizer) runDP(ctx *Ctx) (*plan.Node, error) {
-	n := len(ctx.Rels)
-	best := map[query.RelSet]*plan.Node{}
+// memoEntry is one plan kept for a (relation subset, order property)
+// pair: the cheapest known plan whose physical ordering delivers prop.
+// prop is the plan's ordering reduced to the block's interesting
+// columns (see interestingPrefix); the "" bucket holds the cheapest
+// plan regardless of order.
+type memoEntry struct {
+	prop plan.Ordering
+	node *plan.Node
+}
 
-	for i, ri := range ctx.Rels {
-		if ri.Access != nil {
-			best[query.NewRelSet(i)] = ri.Access
-			o.Metrics.SubsetsExplored++
-			o.Metrics.PlansConsidered++
-			if o.Traces() {
-				o.trace(TraceEvent{Kind: EvLeaf, Subset: ctx.RelSetName(query.NewRelSet(i)),
-					Method: ri.Access.Kind, Detail: ri.Access.Detail,
-					Cost: ri.Access.Total(o.Model), Kept: true})
+// propTable is the per-subset slice of the memo, keyed by the canonical
+// property string.
+type propTable map[string]*memoEntry
+
+// sortedProps returns the table's property keys in sorted order, so
+// every walk over a subset's entries is deterministic.
+func sortedProps(tbl propTable) []string {
+	keys := make([]string, 0, len(tbl))
+	for k := range tbl {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// keepCandidate offers cand as a memo entry for subset ns, applying the
+// property-aware dominance rule: a candidate is dropped when some kept
+// plan is no costlier AND delivers the candidate's order property; a
+// kept candidate conversely evicts entries it dominates. With order
+// properties disabled every plan lands in the "" bucket and this
+// reduces to the classic cheapest-per-subset rule. One call accounts
+// for one considered plan in Metrics and the trace.
+func (o *Optimizer) keepCandidate(ctx *Ctx, tbl propTable, ns query.RelSet, cand *plan.Node) bool {
+	o.Metrics.PlansConsidered++
+	if len(tbl) == 0 {
+		o.Metrics.SubsetsExplored++
+	}
+	prop := ctx.interestingPrefix(cand.Ordering)
+	key := prop.Key()
+	cost := cand.Total(o.Model)
+
+	kept := true
+	for _, e := range tbl {
+		if e.node.Total(o.Model) <= cost && e.node.Ordering.Satisfies(prop) {
+			kept = false
+			break
+		}
+	}
+	if kept {
+		tbl[key] = &memoEntry{prop: prop, node: cand}
+		// Evict entries the new plan dominates on both cost and order.
+		for _, k := range sortedProps(tbl) {
+			if k == key {
+				continue
+			}
+			e := tbl[k]
+			if cost <= e.node.Total(o.Model) && cand.Ordering.Satisfies(e.prop) {
+				delete(tbl, k)
 			}
 		}
 	}
-	if len(best) == 0 {
+	if o.Traces() {
+		o.trace(TraceEvent{Kind: EvCandidate, Subset: ctx.RelSetName(ns),
+			Method: cand.Kind, Detail: cand.Detail,
+			Cost: cost, Kept: kept, Prop: ctx.propName(prop)})
+	}
+	return kept
+}
+
+// candidatesFor collects every enabled join method's plans for
+// extending outer with the inner relation — the built-in methods plus
+// registered external ones (the Filter Join). Both the DP loop and the
+// forced-order path go through here.
+func (o *Optimizer) candidatesFor(ctx *Ctx, outer *plan.Node, inner int) ([]*plan.Node, error) {
+	cands, err := ctx.builtinCandidates(outer, inner)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range o.extra {
+		if !o.methodEnabled(m.Name()) {
+			continue
+		}
+		extra, err := m.Candidates(ctx, outer, inner)
+		if err != nil {
+			return nil, err
+		}
+		cands = append(cands, extra...)
+	}
+	return cands, nil
+}
+
+// keepLeaf seeds a relation's access path into its singleton subset.
+func (o *Optimizer) keepLeaf(ctx *Ctx, memo map[query.RelSet]propTable, i int, leaf *plan.Node) {
+	s := query.NewRelSet(i)
+	prop := ctx.interestingPrefix(leaf.Ordering)
+	memo[s] = propTable{prop.Key(): &memoEntry{prop: prop, node: leaf}}
+	o.Metrics.SubsetsExplored++
+	o.Metrics.PlansConsidered++
+	if o.Traces() {
+		o.trace(TraceEvent{Kind: EvLeaf, Subset: ctx.RelSetName(s),
+			Method: leaf.Kind, Detail: leaf.Detail,
+			Cost: leaf.Total(o.Model), Kept: true, Prop: ctx.propName(prop)})
+	}
+}
+
+// runDP performs System R bottom-up dynamic programming over left-deep
+// join orders with a property-aware memo: for every subset of relations
+// the cheapest plan per interesting order is kept, and each subset of
+// size k is built by extending every kept size-(k-1) plan with one
+// relation through every enabled join method. Cartesian products are
+// deferred: a subset is extended with unconnected relations only when
+// no predicate-connected extension exists. The returned table holds the
+// full subset's surviving entries; finishBest picks among them.
+func (o *Optimizer) runDP(ctx *Ctx) (propTable, error) {
+	n := len(ctx.Rels)
+	memo := map[query.RelSet]propTable{}
+
+	for i, ri := range ctx.Rels {
+		if ri.Access != nil {
+			o.keepLeaf(ctx, memo, i, ri.Access)
+		}
+	}
+	if len(memo) == 0 {
 		return nil, fmt.Errorf("opt: no relation in the block has an access path (a function-backed relation cannot be outermost)")
 	}
 	if n == 1 {
-		full := query.NewRelSet(0)
-		if p, ok := best[full]; ok {
-			return p, nil
+		if tbl, ok := memo[query.NewRelSet(0)]; ok {
+			return tbl, nil
 		}
 		return nil, fmt.Errorf("opt: single relation has no access path")
 	}
 
 	for size := 2; size <= n; size++ {
 		var prev []query.RelSet
-		for s := range best {
+		for s := range memo {
 			if s.Count() == size-1 {
 				prev = append(prev, s)
 			}
@@ -53,38 +152,21 @@ func (o *Optimizer) runDP(ctx *Ctx) (*plan.Node, error) {
 		// EXPLAIN output and traces.
 		sort.Slice(prev, func(a, b int) bool { return prev[a] < prev[b] })
 		for _, s := range prev {
-			outer := best[s]
+			tbl := memo[s]
 			exts := o.extensions(ctx, s, n)
-			for _, i := range exts {
-				cands, err := ctx.builtinCandidates(outer, i)
-				if err != nil {
-					return nil, err
-				}
-				for _, m := range o.extra {
-					if !o.methodEnabled(m.Name()) {
-						continue
-					}
-					extra, err := m.Candidates(ctx, outer, i)
+			for _, key := range sortedProps(tbl) {
+				outer := tbl[key].node
+				for _, i := range exts {
+					cands, err := o.candidatesFor(ctx, outer, i)
 					if err != nil {
 						return nil, err
 					}
-					cands = append(cands, extra...)
-				}
-				ns := s.With(i)
-				for _, cand := range cands {
-					o.Metrics.PlansConsidered++
-					cur, ok := best[ns]
-					if !ok {
-						o.Metrics.SubsetsExplored++
+					ns := s.With(i)
+					if memo[ns] == nil {
+						memo[ns] = propTable{}
 					}
-					kept := !ok || cand.Total(o.Model) < cur.Total(o.Model)
-					if kept {
-						best[ns] = cand
-					}
-					if o.Traces() {
-						o.trace(TraceEvent{Kind: EvCandidate, Subset: ctx.RelSetName(ns),
-							Method: cand.Kind, Detail: cand.Detail,
-							Cost: cand.Total(o.Model), Kept: kept})
+					for _, cand := range cands {
+						o.keepCandidate(ctx, memo[ns], ns, cand)
 					}
 				}
 			}
@@ -95,17 +177,42 @@ func (o *Optimizer) runDP(ctx *Ctx) (*plan.Node, error) {
 	for i := 0; i < n; i++ {
 		full = full.With(i)
 	}
-	p, ok := best[full]
-	if !ok {
+	tbl, ok := memo[full]
+	if !ok || len(tbl) == 0 {
 		return nil, fmt.Errorf("opt: no complete plan found (disconnected query with an unbindable function relation?)")
 	}
-	return p, nil
+	return tbl, nil
+}
+
+// finishBest layers the block's output shape on every surviving
+// full-subset entry and returns the cheapest finished plan. Running
+// finish per entry is what makes sort elision honest: an ordered join
+// that is pricier than the hash plan still wins when skipping the final
+// Sort more than pays the difference, and the comparison happens on
+// completed plans under the optimizer's own cost model.
+func (o *Optimizer) finishBest(ctx *Ctx, tbl propTable) (*plan.Node, error) {
+	var best *plan.Node
+	for _, key := range sortedProps(tbl) {
+		p, err := o.finish(ctx, tbl[key].node)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || p.Total(o.Model) < best.Total(o.Model) {
+			best = p
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("opt: no complete plan found")
+	}
+	return best, nil
 }
 
 // OptimizeBlockWithOrder optimizes b with the join order fixed to the
 // given permutation of relation ordinals: the DP collapses to a single
 // left-deep chain, but every enabled join method still competes at each
-// step. Experiment E2 uses this to cost all six orders of Fig 3.
+// step, and candidates flow through the same keep/prune/trace path as
+// the free search (per-property entries included). Experiment E2 uses
+// this to cost all six orders of Fig 3.
 func (o *Optimizer) OptimizeBlockWithOrder(b *query.Block, order []int) (*plan.Node, error) {
 	if len(order) != len(b.Rels) {
 		return nil, fmt.Errorf("opt: order has %d entries for %d relations", len(order), len(b.Rels))
@@ -116,38 +223,32 @@ func (o *Optimizer) OptimizeBlockWithOrder(b *query.Block, order []int) (*plan.N
 	if err != nil {
 		return nil, err
 	}
-	cur := ctx.Rels[order[0]].Access
-	if cur == nil {
+	leaf := ctx.Rels[order[0]].Access
+	if leaf == nil {
 		return nil, fmt.Errorf("opt: relation %d cannot be outermost (no access path)", order[0])
 	}
+	memo := map[query.RelSet]propTable{}
+	o.keepLeaf(ctx, memo, order[0], leaf)
+	cur := memo[query.NewRelSet(order[0])]
+	subset := query.NewRelSet(order[0])
 	for _, i := range order[1:] {
-		cands, err := ctx.builtinCandidates(cur, i)
-		if err != nil {
-			return nil, err
-		}
-		for _, m := range o.extra {
-			if !o.methodEnabled(m.Name()) {
-				continue
-			}
-			extra, err := m.Candidates(ctx, cur, i)
+		ns := subset.With(i)
+		next := propTable{}
+		for _, key := range sortedProps(cur) {
+			cands, err := o.candidatesFor(ctx, cur[key].node, i)
 			if err != nil {
 				return nil, err
 			}
-			cands = append(cands, extra...)
-		}
-		if len(cands) == 0 {
-			return nil, fmt.Errorf("opt: no join method applies at relation %d in the forced order", i)
-		}
-		best := cands[0]
-		for _, cand := range cands[1:] {
-			o.Metrics.PlansConsidered++
-			if cand.Total(o.Model) < best.Total(o.Model) {
-				best = cand
+			for _, cand := range cands {
+				o.keepCandidate(ctx, next, ns, cand)
 			}
 		}
-		cur = best
+		if len(next) == 0 {
+			return nil, fmt.Errorf("opt: no join method applies at relation %d in the forced order", i)
+		}
+		cur, subset = next, ns
 	}
-	return o.finish(ctx, cur)
+	return o.finishBest(ctx, cur)
 }
 
 // extensions returns the relations the subset should be extended with:

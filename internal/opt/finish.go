@@ -39,6 +39,7 @@ func (o *Optimizer) finish(ctx *Ctx, joined *plan.Node) (*plan.Node, error) {
 			OutSchema: prev.OutSchema,
 			ColMap:    prev.ColMap,
 			Rels:      prev.Rels,
+			Ordering:  prev.Ordering,
 			Make:      func() exec.Operator { return exec.NewSelect(mk(), pred) },
 		})
 	}
@@ -86,6 +87,7 @@ func (o *Optimizer) finish(ctx *Ctx, joined *plan.Node) (*plan.Node, error) {
 			OutSchema: prev.OutSchema,
 			ColMap:    prev.ColMap,
 			Rels:      prev.Rels,
+			Ordering:  prev.Ordering,
 			Make:      func() exec.Operator { return exec.NewDistinct(mk()) },
 		})
 	}
@@ -110,8 +112,16 @@ func (o *Optimizer) finish(ctx *Ctx, joined *plan.Node) (*plan.Node, error) {
 			}
 		}
 		mk := prev.Make
-		if n := b.Limit; n > 0 {
+		want := orderByWanted(prev, b.OrderBy)
+		switch {
+		case o.orderAware() && want != nil && prev.Ordering.Satisfies(want):
+			// Sort elision: the retained interesting order already delivers
+			// the requested sequence. No Sort (or Top-N heap) is built, so
+			// neither the estimate nor the execution pays for one; a LIMIT
+			// below degenerates to a plain row cap.
+		case b.Limit > 0:
 			// Sort+Limit fuse into a bounded-heap Top-N.
+			n := b.Limit
 			rows := prev.Rows
 			if float64(n) < rows {
 				rows = float64(n)
@@ -128,24 +138,27 @@ func (o *Optimizer) finish(ctx *Ctx, joined *plan.Node) (*plan.Node, error) {
 				OutSchema: prev.OutSchema,
 				ColMap:    prev.ColMap,
 				Rels:      prev.Rels,
+				Ordering:  want,
 				Make:      func() exec.Operator { return exec.NewTopN(mk(), n, keys, desc) },
 			})
 			return node, nil
+		default:
+			est := prev.Est
+			est.CPUTuples += prev.Rows*lg2(prev.Rows) + prev.Rows
+			node = plan.NewNode(&plan.Node{
+				Kind:      "Sort",
+				Detail:    detail,
+				Children:  []*plan.Node{prev},
+				Est:       est,
+				Rows:      prev.Rows,
+				Stats:     prev.Stats,
+				OutSchema: prev.OutSchema,
+				ColMap:    prev.ColMap,
+				Rels:      prev.Rels,
+				Ordering:  want,
+				Make:      func() exec.Operator { return exec.NewSort(mk(), keys, desc) },
+			})
 		}
-		est := prev.Est
-		est.CPUTuples += prev.Rows*lg2(prev.Rows) + prev.Rows
-		node = plan.NewNode(&plan.Node{
-			Kind:      "Sort",
-			Detail:    detail,
-			Children:  []*plan.Node{prev},
-			Est:       est,
-			Rows:      prev.Rows,
-			Stats:     prev.Stats,
-			OutSchema: prev.OutSchema,
-			ColMap:    prev.ColMap,
-			Rels:      prev.Rels,
-			Make:      func() exec.Operator { return exec.NewSort(mk(), keys, desc) },
-		})
 	}
 
 	if b.Limit > 0 {
@@ -166,6 +179,7 @@ func (o *Optimizer) finish(ctx *Ctx, joined *plan.Node) (*plan.Node, error) {
 			OutSchema: prev.OutSchema,
 			ColMap:    prev.ColMap,
 			Rels:      prev.Rels,
+			Ordering:  prev.Ordering,
 			Make:      func() exec.Operator { return exec.NewLimit(mk(), n) },
 		})
 	}
@@ -207,6 +221,7 @@ func (o *Optimizer) finishHaving(ctx *Ctx, prev *plan.Node) (*plan.Node, error) 
 		OutSchema: prev.OutSchema,
 		ColMap:    prev.ColMap,
 		Rels:      prev.Rels,
+		Ordering:  prev.Ordering,
 		Make:      func() exec.Operator { return exec.NewSelect(mk(), having) },
 	}), nil
 }
@@ -282,8 +297,20 @@ func (o *Optimizer) finishGroupBy(ctx *Ctx, prev *plan.Node) (*plan.Node, error)
 	}
 
 	mk := prev.Make
+	kind := "GroupBy"
+	var outOrd plan.Ordering
+	mkOp := func() exec.Operator { return exec.NewGroupBy(mk(), groupPos, aggs) }
+	if o.orderAware() && len(groupPos) > 0 && prev.Ordering.PrefixCovers(b.GroupBy) {
+		// The join output already arrives clustered by the grouping
+		// columns, so aggregation streams one group at a time instead of
+		// hashing every row, and the input's order survives on the
+		// grouping columns for the ORDER BY above to reuse.
+		kind = "StreamGroupBy"
+		outOrd = prev.Ordering.Project(func(c int) bool { return colMap[c] >= 0 })
+		mkOp = func() exec.Operator { return exec.NewStreamGroupBy(mk(), groupPos, aggs) }
+	}
 	return plan.NewNode(&plan.Node{
-		Kind:      "GroupBy",
+		Kind:      kind,
 		Detail:    groupByDetail(ctx, b),
 		Children:  []*plan.Node{prev},
 		Est:       est,
@@ -292,7 +319,8 @@ func (o *Optimizer) finishGroupBy(ctx *Ctx, prev *plan.Node) (*plan.Node, error)
 		OutSchema: outSchema,
 		ColMap:    colMap,
 		Rels:      prev.Rels,
-		Make:      func() exec.Operator { return exec.NewGroupBy(mk(), groupPos, aggs) },
+		Ordering:  outOrd,
+		Make:      mkOp,
 	}), nil
 }
 
@@ -352,6 +380,7 @@ func (o *Optimizer) finishProject(ctx *Ctx, prev *plan.Node) (*plan.Node, error)
 		OutSchema: outSchema,
 		ColMap:    colMap,
 		Rels:      prev.Rels,
+		Ordering:  prev.Ordering.Project(func(c int) bool { return colMap[c] >= 0 }),
 		Make:      func() exec.Operator { return exec.NewProject(mk(), exprs, outSchema) },
 	}), nil
 }
@@ -407,6 +436,29 @@ func (o *Optimizer) identityProject(ctx *Ctx, prev *plan.Node) *plan.Node {
 		OutSchema: outSchema,
 		ColMap:    plan.IdentityColMap(width),
 		Rels:      prev.Rels,
+		Ordering:  prev.Ordering,
 		Make:      func() exec.Operator { return exec.NewProject(mk(), exprs, outSchema) },
 	})
+}
+
+// orderByWanted translates the block's ORDER BY — stated over output
+// positions — into an Ordering over block layout columns, the coordinate
+// space plan orderings are tracked in. A nil result means some ORDER BY
+// item has no block-column provenance (an aggregate or computed
+// expression), so sort elision is off the table.
+func orderByWanted(prev *plan.Node, items []query.OrderItem) plan.Ordering {
+	want := make(plan.Ordering, len(items))
+	for i, oi := range items {
+		var cols []int
+		for c, pos := range prev.ColMap {
+			if pos == oi.Col {
+				cols = append(cols, c)
+			}
+		}
+		if len(cols) == 0 {
+			return nil
+		}
+		want[i] = plan.OrderKey{Cols: cols, Desc: oi.Desc}
+	}
+	return want
 }

@@ -48,9 +48,17 @@ func (c *Ctx) builtinCandidates(outer *plan.Node, inner int) ([]*plan.Node, erro
 	combined := c.CombinedColMap(outer, inner)
 	rels := outer.Rels.With(inner)
 
+	// Order propagation: every built-in method except the merge join
+	// streams its outer input, so the outer's retained ordering survives,
+	// widened by the columns the new equi predicates equate to its keys.
+	// The merge join instead produces the order of its own key sequence
+	// (see mergeJoinCand).
+	ext := outer.Ordering.ExtendEquiv(outerCols, innerCols)
+
 	var cands []*plan.Node
-	add := func(n *plan.Node) {
+	add := func(n *plan.Node, ord plan.Ordering) {
 		if n != nil {
+			n.Ordering = ord
 			cands = append(cands, n)
 		}
 	}
@@ -58,28 +66,32 @@ func (c *Ctx) builtinCandidates(outer *plan.Node, inner int) ([]*plan.Node, erro
 	if ri.Access != nil {
 		if len(outerCols) > 0 {
 			if c.O.methodEnabled("hash") {
-				add(c.hashJoinCand(outer, ri, outerCols, innerCols, residual, rows, outStats, combined, rels))
+				add(c.hashJoinCand(outer, ri, outerCols, innerCols, residual, rows, outStats, combined, rels), ext)
 			}
 			if c.O.methodEnabled("merge") {
-				add(c.mergeJoinCand(outer, ri, outerCols, innerCols, residual, rows, outStats, combined, rels))
+				if n := c.mergeJoinCand(outer, ri, outerCols, innerCols, residual, rows, outStats, combined, rels); n != nil {
+					cands = append(cands, n)
+				}
 			}
 		}
 		if c.O.methodEnabled("nlj") {
-			add(c.nljCand(outer, ri, preds, rows, outStats, combined, rels))
+			add(c.nljCand(outer, ri, preds, rows, outStats, combined, rels), ext)
 		}
 	}
 	if len(outerCols) > 0 && ri.Entry.Kind == catalog.KindBase && c.O.methodEnabled("indexnl") {
-		add(c.indexNLCand(outer, ri, preds, outerCols, innerCols, rows, outStats, combined, rels))
+		add(c.indexNLCand(outer, ri, preds, outerCols, innerCols, rows, outStats, combined, rels), ext)
 	}
 	if len(outerCols) > 0 && ri.Entry.Kind == catalog.KindRemote && c.O.methodEnabled("fetchmatches") {
-		add(c.fetchMatchesCand(outer, ri, preds, outerCols, innerCols, rows, outStats, combined, rels))
+		add(c.fetchMatchesCand(outer, ri, preds, outerCols, innerCols, rows, outStats, combined, rels), ext)
 	}
 	if ri.Entry.Kind == catalog.KindFunc && (c.O.methodEnabled("funcprobe") || c.O.methodEnabled("funcprobememo")) {
 		ns, err := c.funcProbeCands(outer, ri, preds, outerCols, innerCols, rows, outStats, combined, rels)
 		if err != nil {
 			return nil, err
 		}
-		cands = append(cands, ns...)
+		for _, n := range ns {
+			add(n, ext)
+		}
 	}
 	return cands, nil
 }
@@ -129,22 +141,37 @@ func (c *Ctx) hashJoinCand(outer *plan.Node, ri *RelInfo, outerCols, innerCols [
 
 func (c *Ctx) mergeJoinCand(outer *plan.Node, ri *RelInfo, outerCols, innerCols []int, residual []*PredInfo, rows float64, outStats *stats.RelStats, combined []int, rels queryRelSet) *plan.Node {
 	a := ri.Access
-	outerPos, ok := OuterKeyPositions(outer, outerCols)
+	// When the outer's retained ordering already covers the merge keys
+	// ascending (in some pair permutation), the outer arrives sorted:
+	// drop its sort from both the cost formula and the operator tree.
+	oc, ic := outerCols, innerCols
+	presorted := false
+	if c.O.orderAware() {
+		oc, ic, presorted = reorderPairsForPresorted(outer.Ordering, outerCols, innerCols)
+	}
+	outerPos, ok := OuterKeyPositions(outer, oc)
 	if !ok {
 		return nil
 	}
-	innerPos, ok := OuterKeyPositions(a, innerCols)
+	innerPos, ok := OuterKeyPositions(a, ic)
 	if !ok {
 		return nil
 	}
 	est := outer.Est.Plus(a.Est)
-	est.CPUTuples += outer.Rows*lg2(outer.Rows) + a.Rows*lg2(a.Rows) +
-		2*(outer.Rows+a.Rows) + rows
+	est.CPUTuples += a.Rows*lg2(a.Rows) + 2*(outer.Rows+a.Rows) + rows
+	if !presorted {
+		est.CPUTuples += outer.Rows * lg2(outer.Rows)
+	}
 	res := ResidualExpr(residual, combined)
 	outerMk, innerMk := outer.Make, a.Make
+	detail := keyDetail(c, oc, ic)
+	if presorted {
+		detail += " outer presorted"
+	}
+	pre := presorted
 	return plan.NewNode(&plan.Node{
 		Kind:      "MergeJoin",
-		Detail:    keyDetail(c, outerCols, innerCols),
+		Detail:    detail,
 		Children:  []*plan.Node{outer, a},
 		Est:       est,
 		Rows:      rows,
@@ -152,8 +179,9 @@ func (c *Ctx) mergeJoinCand(outer *plan.Node, ri *RelInfo, outerCols, innerCols 
 		OutSchema: outer.OutSchema.Concat(a.OutSchema),
 		ColMap:    combined,
 		Rels:      rels,
+		Ordering:  mergeOutputOrdering(oc, ic),
 		Make: func() exec.Operator {
-			return exec.NewMergeJoin(outerMk(), innerMk(), outerPos, innerPos, res)
+			return exec.NewMergeJoinPresorted(outerMk(), innerMk(), outerPos, innerPos, res, pre, false)
 		},
 	})
 }

@@ -57,6 +57,13 @@ type Optimizer struct {
 	// MaxRelations caps the DP size (default 14).
 	MaxRelations int
 
+	// DisableOrderProps turns off interesting-order tracking: the memo
+	// collapses to one plan per relation subset, merge joins always
+	// re-sort their inputs, aggregation always hashes, and the final
+	// ORDER BY always sorts — the pre-property optimizer, kept for
+	// ablation and differential testing.
+	DisableOrderProps bool
+
 	Metrics Metrics
 
 	// Tracer, when set, observes the search: DP subsets explored, join
@@ -124,11 +131,11 @@ func (o *Optimizer) OptimizeBlock(b *query.Block) (*plan.Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	joined, err := o.runDP(ctx)
+	tbl, err := o.runDP(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return o.finish(ctx, joined)
+	return o.finishBest(ctx, tbl)
 }
 
 // Depth reports the current nesting depth (1 while inside a top-level

@@ -30,6 +30,7 @@ type TraceEvent struct {
 	Cost   float64 `json:"cost,omitempty"`   // weighted total under the optimizer's model
 	Kept   bool    `json:"kept"`             // candidate became (or stayed) the subset's best
 	Depth  int     `json:"depth,omitempty"`  // optimizer nesting depth (nested events)
+	Prop   string  `json:"prop,omitempty"`   // order property bucket ("" = no useful order)
 }
 
 // Tracer observes the optimizer's search. Implementations must be cheap:
@@ -85,13 +86,13 @@ func (t *CollectingTracer) Text() string {
 	for _, ev := range t.Events {
 		switch ev.Kind {
 		case EvLeaf:
-			fmt.Fprintf(&b, "leaf      %-14s %-14s cost=%-10.2f %s\n", ev.Subset, ev.Method, ev.Cost, ev.Detail)
+			fmt.Fprintf(&b, "leaf      %-14s %-14s cost=%-10.2f %s%s\n", ev.Subset, ev.Method, ev.Cost, ev.Detail, propSuffix(ev))
 		case EvCandidate:
 			verdict := "pruned"
 			if ev.Kept {
 				verdict = "kept"
 			}
-			fmt.Fprintf(&b, "candidate %-14s %-14s cost=%-10.2f %-6s %s\n", ev.Subset, ev.Method, ev.Cost, verdict, ev.Detail)
+			fmt.Fprintf(&b, "candidate %-14s %-14s cost=%-10.2f %-6s %s%s\n", ev.Subset, ev.Method, ev.Cost, verdict, ev.Detail, propSuffix(ev))
 		case EvNested:
 			fmt.Fprintf(&b, "nested    depth=%d %s\n", ev.Depth, ev.Detail)
 		case EvCosterBuild, EvCosterHit:
@@ -138,6 +139,15 @@ func (t *CollectingTracer) Summary() string {
 		fmt.Fprintf(&b, "  %-16s considered=%-5d kept=%d\n", m, cands[m], kept[m])
 	}
 	return b.String()
+}
+
+// propSuffix renders a candidate's order-property bucket for text
+// traces; the "" bucket (no useful order) stays silent.
+func propSuffix(ev TraceEvent) string {
+	if ev.Prop == "" {
+		return ""
+	}
+	return " ord[" + ev.Prop + "]"
 }
 
 // blockDesc names a block by its relation bindings, for nested-event

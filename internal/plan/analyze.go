@@ -98,10 +98,14 @@ func formatAnalyze(b *strings.Builder, n *Node, m cost.Model, byNode map[*Node]*
 		b.WriteString(n.Detail)
 		b.WriteString("]")
 	}
+	ord := ""
+	if s := DescribeOrdering(n.Ordering, n); s != "" {
+		ord = fmt.Sprintf(", order=[%s]", s)
+	}
 	st := byNode[n]
 	if st == nil || st.Opens == 0 {
-		fmt.Fprintf(b, "  (est rows=%.0f, act rows=-, est cost=%.2f, not executed)",
-			n.Rows, m.TotalEstimate(n.Est))
+		fmt.Fprintf(b, "  (est rows=%.0f, act rows=-, est cost=%.2f%s, not executed)",
+			n.Rows, m.TotalEstimate(n.Est), ord)
 	} else {
 		perOpen := float64(st.Rows) / float64(st.Opens)
 		fmt.Fprintf(b, "  (est rows=%.0f, act rows=%d", n.Rows, st.Rows)
@@ -113,6 +117,7 @@ func formatAnalyze(b *strings.Builder, n *Node, m cost.Model, byNode map[*Node]*
 		if opts.ShowTime {
 			fmt.Fprintf(b, ", time=%s", st.Wall.Round(time.Microsecond))
 		}
+		b.WriteString(ord)
 		b.WriteString(")")
 		if r, off := misestimate(n.Rows, perOpen, opts.ErrRatio); off {
 			fmt.Fprintf(b, "  [rows misestimated x%.1f]", r)

@@ -32,6 +32,12 @@ type Node struct {
 	ColMap    []int        // block layout column -> output position, -1 if absent
 	Rels      query.RelSet // block relations this plan covers
 
+	// Ordering is the physical sort order the node's output is known to
+	// carry (nil when unordered). Operators that stream their outer input
+	// preserve it; sorts and merge joins produce it; hash aggregation
+	// destroys it. The optimizer's property-aware memo keys plans by it.
+	Ordering Ordering
+
 	Make func() exec.Operator
 
 	Extra any // method-specific annotation (e.g. Filter Join cost breakdown)
@@ -56,8 +62,11 @@ func format(b *strings.Builder, n *Node, m cost.Model, depth int) {
 		b.WriteString(n.Detail)
 		b.WriteString("]")
 	}
-	fmt.Fprintf(b, "  (rows=%.0f cost=%.2f)", n.Rows, n.Total(m))
-	b.WriteString("\n")
+	fmt.Fprintf(b, "  (rows=%.0f cost=%.2f", n.Rows, n.Total(m))
+	if s := DescribeOrdering(n.Ordering, n); s != "" {
+		fmt.Fprintf(b, " order=[%s]", s)
+	}
+	b.WriteString(")\n")
 	for _, c := range n.Children {
 		format(b, c, m, depth+1)
 	}
