@@ -39,10 +39,23 @@ func checkConservation(t *testing.T, name string, cat *catalog.Catalog, b *query
 	var sum cost.Counter
 	var rootIncl cost.Counter
 	for _, s := range ops {
-		sum.Add(s.Self())
+		self := s.Self()
+		// Attribution must never go negative: an operator whose Self
+		// delta dips below zero is double-charging its parent.
+		if self.PageReads < 0 || self.PageWrites < 0 || self.CPUTuples < 0 ||
+			self.NetBytes < 0 || self.NetMsgs < 0 || self.FnCalls < 0 {
+			t.Errorf("%s: operator %s charged negative Self %s", name, s.Label, self.String())
+		}
+		sum.Add(self)
 		if s.Tag == p {
 			rootIncl = s.Inclusive
 		}
+	}
+	// The runtime complement of the costcharge analyzer: executing a
+	// real workload is never free. A zero root counter means some
+	// operator did row work without charging ctx.Counter.
+	if ctx.Counter.IsZero() {
+		t.Errorf("%s: execution charged nothing; an operator is doing row work for free", name)
 	}
 	if sum != *ctx.Counter {
 		t.Errorf("%s: sum of per-operator Self = %s, want root counter %s (plan:\n%s)",

@@ -107,9 +107,10 @@ func (e *Entry) Stats() *stats.RelStats {
 		return e.tableStats
 	case KindFunc:
 		return e.FnStats
-	default:
-		return nil
+	case KindView:
+		return nil // view stats are derived by the optimizer, never stored
 	}
+	return nil
 }
 
 // InvalidateStats drops cached statistics (after bulk loads).

@@ -80,7 +80,7 @@ func (f *filterJoinOp) Schema() *schema.Schema {
 		} else {
 			innerSch = vs
 		}
-	default:
+	case catalog.KindBase, catalog.KindRemote:
 		innerSch = s.entry.Table.Schema()
 	}
 	if s.alias != "" {

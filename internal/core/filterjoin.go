@@ -339,7 +339,7 @@ func (m *Method) buildCandidate(
 		pRowBytes := outer.OutSchema.RowWidth()
 		pagesP := pagesOf(outer.Rows, pRowBytes)
 		matExtra := cost.Estimate{PageWrites: pagesP, PageReads: 2 * pagesP, CPUTuples: 2 * outer.Rows}
-		materialize = model.TotalEstimate(matExtra) <= model.TotalEstimate(outer.Est)
+		materialize = cost.LessEq(model.TotalEstimate(matExtra), model.TotalEstimate(outer.Est))
 		if materialize {
 			comp.ProductionCostP = matExtra
 		} else {
@@ -405,7 +405,7 @@ func (m *Method) buildCandidate(
 				if ri.LocalPred != nil {
 					ixEst.CPUTuples += fCard * k
 				}
-				if model.TotalEstimate(ixEst) < model.TotalEstimate(scanEst) {
+				if cost.Less(model.TotalEstimate(ixEst), model.TotalEstimate(scanEst)) {
 					comp.FilterCostRk = ixEst
 					access = AccessIndexProbe
 					chosenIx = ix

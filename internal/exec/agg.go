@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"sort"
 
 	"filterjoin/internal/expr"
@@ -69,8 +70,7 @@ func (g *GroupBy) Open(ctx *Context) error {
 	for {
 		r, ok, err := g.Child.Next(ctx)
 		if err != nil {
-			g.Child.Close(ctx)
-			return err
+			return errors.Join(err, g.Child.Close(ctx))
 		}
 		if !ok {
 			break
@@ -95,13 +95,11 @@ func (g *GroupBy) Open(ctx *Context) error {
 				var err error
 				v, err = a.Arg.Eval(r)
 				if err != nil {
-					g.Child.Close(ctx)
-					return err
+					return errors.Join(err, g.Child.Close(ctx))
 				}
 			}
 			if err := gs.states[i].Add(v); err != nil {
-				g.Child.Close(ctx)
-				return err
+				return errors.Join(err, g.Child.Close(ctx))
 			}
 		}
 	}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"testing"
 
 	"filterjoin/internal/expr"
@@ -95,4 +96,124 @@ func TestSortChildErrorPropagates(t *testing.T) {
 func schemaOf(t *testing.T) *schema.Schema {
 	t.Helper()
 	return schema.New(schema.Column{Name: "s", Type: value.KindString})
+}
+
+// failingOp errors from Next after emitting its rows, and again from
+// Close. It records whether Close ran, so tests can assert both halves
+// of the opclose contract: the error path closes the child, and the
+// Close error is joined into the returned error instead of dropped.
+type failingOp struct {
+	sch      *schema.Schema
+	rows     []value.Row
+	nextErr  error
+	closeErr error
+	pos      int
+	closed   bool
+}
+
+func (f *failingOp) Schema() *schema.Schema { return f.sch }
+
+func (f *failingOp) Open(ctx *Context) error {
+	f.pos = 0
+	f.closed = false
+	return nil
+}
+
+func (f *failingOp) Next(ctx *Context) (value.Row, bool, error) {
+	if f.pos < len(f.rows) {
+		f.pos++
+		return f.rows[f.pos-1], true, nil
+	}
+	return nil, false, f.nextErr
+}
+
+func (f *failingOp) Close(ctx *Context) error {
+	f.closed = true
+	return f.closeErr
+}
+
+var (
+	errNext  = errors.New("next exploded")
+	errClose = errors.New("close exploded")
+)
+
+func newFailingOp(t *testing.T) *failingOp {
+	t.Helper()
+	return &failingOp{
+		sch:      schema.New(schema.Column{Name: "g", Type: value.KindInt}),
+		rows:     []value.Row{{value.NewInt(1)}},
+		nextErr:  errNext,
+		closeErr: errClose,
+	}
+}
+
+// checkJoined asserts the error path closed the child and surfaced
+// both the Next error and the Close error.
+func checkJoined(t *testing.T, what string, f *failingOp, err error) {
+	t.Helper()
+	if !f.closed {
+		t.Errorf("%s: error path did not Close the child", what)
+	}
+	if !errors.Is(err, errNext) {
+		t.Errorf("%s: Next error lost: %v", what, err)
+	}
+	if !errors.Is(err, errClose) {
+		t.Errorf("%s: Close error dropped: %v", what, err)
+	}
+}
+
+func TestDrainJoinsCloseError(t *testing.T) {
+	f := newFailingOp(t)
+	_, err := Drain(NewContext(), f)
+	checkJoined(t, "Drain", f, err)
+}
+
+func TestCountJoinsCloseError(t *testing.T) {
+	f := newFailingOp(t)
+	_, err := Count(NewContext(), f)
+	checkJoined(t, "Count", f, err)
+}
+
+func TestGroupByOpenJoinsCloseError(t *testing.T) {
+	f := newFailingOp(t)
+	g := NewGroupBy(f, []int{0}, nil)
+	err := g.Open(NewContext())
+	checkJoined(t, "GroupBy.Open", f, err)
+}
+
+func TestGroupByAggEvalJoinsCloseError(t *testing.T) {
+	// The aggregate argument errors during the build loop; the child's
+	// Close error must still surface alongside it.
+	f := &failingOp{
+		sch:      schemaOf(t),
+		rows:     []value.Row{{value.NewString("x")}},
+		nextErr:  nil, // never reached: Eval fails on the first row
+		closeErr: errClose,
+	}
+	g := NewGroupBy(f, nil, []expr.AggSpec{
+		{Kind: expr.AggSum, Arg: expr.NewCol(0, "s"), Name: "s"},
+	})
+	err := g.Open(NewContext())
+	if !f.closed {
+		t.Error("GroupBy.Open: eval error path did not Close the child")
+	}
+	if !errors.Is(err, errClose) {
+		t.Errorf("GroupBy.Open: Close error dropped: %v", err)
+	}
+	if err == nil {
+		t.Error("GroupBy.Open: SUM over strings must error")
+	}
+}
+
+func TestTopNOpenJoinsCloseError(t *testing.T) {
+	f := newFailingOp(t)
+	top := NewTopN(f, 1, []int{0}, nil)
+	err := top.Open(NewContext())
+	checkJoined(t, "TopN.Open", f, err)
+}
+
+func TestBuildKeySetJoinsCloseError(t *testing.T) {
+	f := newFailingOp(t)
+	_, err := BuildKeySet(NewContext(), f, []int{0})
+	checkJoined(t, "BuildKeySet", f, err)
 }

@@ -15,6 +15,7 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 
 	"filterjoin/internal/cost"
@@ -68,8 +69,7 @@ func Drain(ctx *Context, op Operator) ([]value.Row, error) {
 	for {
 		r, ok, err := op.Next(ctx)
 		if err != nil {
-			op.Close(ctx)
-			return nil, err
+			return nil, errors.Join(err, op.Close(ctx))
 		}
 		if !ok {
 			break
@@ -91,8 +91,7 @@ func Count(ctx *Context, op Operator) (int, error) {
 	for {
 		_, ok, err := op.Next(ctx)
 		if err != nil {
-			op.Close(ctx)
-			return 0, err
+			return 0, errors.Join(err, op.Close(ctx))
 		}
 		if !ok {
 			break

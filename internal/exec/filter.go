@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"filterjoin/internal/bloom"
 	"filterjoin/internal/schema"
 	"filterjoin/internal/value"
@@ -30,8 +31,7 @@ func BuildKeySet(ctx *Context, op Operator, keyIdx []int) (*KeySet, error) {
 	for {
 		r, ok, err := op.Next(ctx)
 		if err != nil {
-			op.Close(ctx)
-			return nil, err
+			return nil, errors.Join(err, op.Close(ctx))
 		}
 		if !ok {
 			break

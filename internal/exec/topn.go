@@ -2,6 +2,7 @@ package exec
 
 import (
 	"container/heap"
+	"errors"
 
 	"filterjoin/internal/schema"
 	"filterjoin/internal/value"
@@ -66,8 +67,7 @@ func (t *TopN) Open(ctx *Context) error {
 	for {
 		r, ok, err := t.Child.Next(ctx)
 		if err != nil {
-			t.Child.Close(ctx)
-			return err
+			return errors.Join(err, t.Child.Close(ctx))
 		}
 		if !ok {
 			break

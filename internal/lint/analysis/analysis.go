@@ -1,0 +1,147 @@
+// Package analysis is a dependency-free subset of the
+// golang.org/x/tools/go/analysis API: an Analyzer inspects one
+// type-checked package through a Pass and reports Diagnostics. The
+// toolchain image this repo builds in has no module proxy access, so
+// the upstream module cannot be imported; keeping the shapes identical
+// (Analyzer.Name/Doc/Run, Pass.Fset/Files/Pkg/TypesInfo/Reportf) means
+// the optlint analyzers can be ported to the real framework by swapping
+// this import alone.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// "//lint:ignore <name> <reason>" suppression comments.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass presents one type-checked package to an Analyzer.Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report receives each diagnostic. The runner installs a collector
+	// that applies //lint:ignore suppression before surfacing it.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// Inspect walks every file of the pass in depth-first order.
+func (p *Pass) Inspect(f func(ast.Node) bool) {
+	for _, file := range p.Files {
+		ast.Inspect(file, f)
+	}
+}
+
+// WithStack walks the subtree rooted at n in depth-first order,
+// calling f with each node and the stack of its ancestors (outermost
+// first, not including the node itself). Returning false skips the
+// node's children. It mirrors x/tools' inspector.WithStack closely
+// enough for the analyzers here.
+func WithStack(n ast.Node, f func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	var walk func(ast.Node)
+	walk = func(cur ast.Node) {
+		if cur == nil {
+			return
+		}
+		if !f(cur, stack) {
+			return
+		}
+		stack = append(stack, cur)
+		ast.Inspect(cur, func(c ast.Node) bool {
+			if c == cur {
+				return true
+			}
+			if c == nil {
+				return false
+			}
+			walk(c)
+			return false
+		})
+		stack = stack[:len(stack)-1]
+	}
+	walk(n)
+}
+
+// ImportedPackage returns the package with the given import path from
+// the pass's transitive imports, or the pass's own package when the
+// path matches it. It returns nil when the package is not reachable —
+// analyzers use that to skip packages the invariant cannot apply to.
+func (p *Pass) ImportedPackage(path string) *types.Package {
+	if p.Pkg.Path() == path {
+		return p.Pkg
+	}
+	seen := map[*types.Package]bool{}
+	var find func(pkg *types.Package) *types.Package
+	find = func(pkg *types.Package) *types.Package {
+		if seen[pkg] {
+			return nil
+		}
+		seen[pkg] = true
+		for _, imp := range pkg.Imports() {
+			if imp.Path() == path {
+				return imp
+			}
+			if found := find(imp); found != nil {
+				return found
+			}
+		}
+		return nil
+	}
+	return find(p.Pkg)
+}
+
+// NamedInterface resolves an interface type by package path and name
+// through the pass's imports; nil when unreachable or not an interface.
+func (p *Pass) NamedInterface(path, name string) *types.Interface {
+	pkg := p.ImportedPackage(path)
+	if pkg == nil {
+		return nil
+	}
+	obj := pkg.Scope().Lookup(name)
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// Implements reports whether t or *t satisfies iface.
+func Implements(t types.Type, iface *types.Interface) bool {
+	if iface == nil || t == nil {
+		return false
+	}
+	if types.Implements(t, iface) {
+		return true
+	}
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(t), iface)
+	}
+	return false
+}

@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"filterjoin/internal/lint/analysis"
+)
+
+// Exhaustive enforces full variant coverage on the dispatch points the
+// paper's Limitation 3 argument rests on. Two rules:
+//
+//   - Switches over the plan-variant enums (core.FilterRepr,
+//     core.InnerAccess, catalog.Kind) must list every declared
+//     constant of the enum. A default clause does NOT excuse a missing
+//     variant: the filter-set variant space is a small closed set by
+//     design, and a new variant silently swallowed by a default is
+//     exactly the bug class this analyzer exists to surface.
+//   - Type switches over the expression interfaces (expr.Expr,
+//     sql.AExpr) must either carry a default clause or cover every
+//     implementing type declared in the interface's package.
+var Exhaustive = &analysis.Analyzer{
+	Name: "exhaustive",
+	Doc:  "require switches over plan-variant enums and expression type switches to cover every variant",
+	Run:  runExhaustive,
+}
+
+// enum2 is a (package path, type name) pair.
+type enum2 struct{ pkg, name string }
+
+// exhaustiveEnums are the closed variant enums (strict: default does
+// not excuse a missing member).
+var exhaustiveEnums = map[enum2]bool{
+	{"filterjoin/internal/core", "FilterRepr"}:  true,
+	{"filterjoin/internal/core", "InnerAccess"}: true,
+	{"filterjoin/internal/catalog", "Kind"}:     true,
+}
+
+// exhaustiveIfaces are the expression interfaces whose type switches
+// must cover every implementer unless they carry a default clause.
+var exhaustiveIfaces = map[enum2]bool{
+	{"filterjoin/internal/expr", "Expr"}: true,
+	{"filterjoin/internal/sql", "AExpr"}: true,
+}
+
+func runExhaustive(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		switch sw := n.(type) {
+		case *ast.SwitchStmt:
+			checkEnumSwitch(pass, sw)
+		case *ast.TypeSwitchStmt:
+			checkTypeSwitch(pass, sw)
+		}
+		return true
+	})
+	return nil
+}
+
+func checkEnumSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[sw.Tag]
+	if !ok || tv.Type == nil {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !exhaustiveEnums[enum2{obj.Pkg().Path(), obj.Name()}] {
+		return
+	}
+	// Every package-level constant of the enum type, by constant value.
+	members := map[string]string{} // value repr -> name
+	scope := obj.Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if ok && types.Identical(c.Type(), named) {
+			members[c.Val().ExactString()] = c.Name()
+		}
+	}
+	if len(members) < 2 {
+		return
+	}
+	covered := map[string]bool{}
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		for _, e := range cc.List {
+			if ctv, ok := pass.TypesInfo.Types[e]; ok && ctv.Value != nil {
+				covered[ctv.Value.ExactString()] = true
+			}
+		}
+	}
+	var missing []string
+	for val, name := range members {
+		if !covered[val] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		pass.Reportf(sw.Switch, "switch over %s.%s is missing variant%s %s (a default clause does not cover new variants)",
+			obj.Pkg().Name(), obj.Name(), plural(missing), strings.Join(missing, ", "))
+	}
+}
+
+func checkTypeSwitch(pass *analysis.Pass, sw *ast.TypeSwitchStmt) {
+	// Extract the switched expression from `x := e.(type)` or `e.(type)`.
+	var assert *ast.TypeAssertExpr
+	switch s := sw.Assign.(type) {
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			assert, _ = s.Rhs[0].(*ast.TypeAssertExpr)
+		}
+	case *ast.ExprStmt:
+		assert, _ = s.X.(*ast.TypeAssertExpr)
+	}
+	if assert == nil {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[assert.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !exhaustiveIfaces[enum2{obj.Pkg().Path(), obj.Name()}] {
+		return
+	}
+	iface, ok := named.Underlying().(*types.Interface)
+	if !ok {
+		return
+	}
+	covered := map[*types.TypeName]bool{}
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		if cc.List == nil {
+			return // default clause: partial handling is explicit
+		}
+		for _, e := range cc.List {
+			ctv, ok := pass.TypesInfo.Types[e]
+			if !ok || ctv.Type == nil {
+				continue
+			}
+			t := ctv.Type
+			if ptr, isPtr := t.(*types.Pointer); isPtr {
+				t = ptr.Elem()
+			}
+			if n, isNamed := t.(*types.Named); isNamed {
+				covered[n.Obj()] = true
+			}
+		}
+	}
+	// Implementers declared in the interface's own package.
+	var missing []string
+	scope := obj.Pkg().Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn == obj || tn.IsAlias() {
+			continue
+		}
+		if _, isIface := tn.Type().Underlying().(*types.Interface); isIface {
+			continue
+		}
+		if analysis.Implements(tn.Type(), iface) && !covered[tn] {
+			missing = append(missing, tn.Name())
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		pass.Reportf(sw.Switch, "type switch over %s.%s has no default and is missing implementer%s %s",
+			obj.Pkg().Name(), obj.Name(), plural(missing), strings.Join(missing, ", "))
+	}
+}
+
+func plural(s []string) string {
+	if len(s) > 1 {
+		return "s"
+	}
+	return ""
+}

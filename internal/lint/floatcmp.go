@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+
+	"filterjoin/internal/lint/analysis"
+)
+
+// Floatcmp forbids raw float comparison operators on cost values in
+// the optimizer and cost packages: plan dominance decided by `<=` on
+// float64 totals is sensitive to summation order noise, so two plans
+// whose Table 1 components merely accumulate in a different order can
+// flip a pruning decision. Dominance comparisons must go through the
+// epsilon helpers (cost.Less, cost.LessEq, cost.ApproxEq), which this
+// analyzer exempts by file.
+var Floatcmp = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc:  "flag raw ==/!=/</<=/>/>= on cost floats outside the cost epsilon helpers",
+	Run:  runFloatcmp,
+}
+
+// floatcmpPackages are the packages in which the rule is enforced.
+var floatcmpPackages = map[string]bool{
+	"filterjoin/internal/opt":  true,
+	"filterjoin/internal/cost": true,
+	"filterjoin/internal/core": true,
+}
+
+// floatcmpExemptFile hosts the designated epsilon helpers.
+const floatcmpExemptFile = "compare.go"
+
+// costNameRe matches identifiers that carry scalar cost values by
+// naming convention (cost, candCost, costA, totalCost, bestTotal, ...).
+// Deliberately broad: inside the enforced packages a float named after
+// cost/total is a cost, and false positives have a suppression escape.
+var costNameRe = regexp.MustCompile(`(?i)cost|total`)
+
+func runFloatcmp(pass *analysis.Pass) error {
+	if !enforcedPackage(pass.Pkg.Path(), floatcmpPackages) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if filepath.Base(pass.Fset.Position(file.Pos()).Filename) == floatcmpExemptFile {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch be.Op {
+			case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+			default:
+				return true
+			}
+			if !isFloat(pass, be.X) || !isFloat(pass, be.Y) {
+				return true
+			}
+			// Comparisons against constants are range guards (cost > 0),
+			// not dominance decisions between two computed costs.
+			if isConstant(pass, be.X) || isConstant(pass, be.Y) {
+				return true
+			}
+			if costValued(pass, be.X) || costValued(pass, be.Y) {
+				pass.Reportf(be.OpPos, "raw float comparison on cost values; use cost.Less/LessEq/ApproxEq so dominance is epsilon-tolerant")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConstant(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+// costValued reports whether e computes a scalar cost: it contains a
+// call to a method named Total or TotalEstimate, or mentions an
+// identifier whose name follows the cost naming convention.
+func costValued(pass *analysis.Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Total" || sel.Sel.Name == "TotalEstimate" {
+					found = true
+					return false
+				}
+			}
+		case *ast.Ident:
+			if costNameRe.MatchString(x.Name) {
+				found = true
+				return false
+			}
+		case *ast.SelectorExpr:
+			if costNameRe.MatchString(x.Sel.Name) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

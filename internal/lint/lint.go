@@ -1,0 +1,125 @@
+// Package lint hosts optlint, the repo's static-analysis suite. Five
+// analyzers encode contracts the paper's cost-based argument depends
+// on; each maps to a runtime invariant that was previously enforced
+// only by property tests (see DESIGN.md "Static analysis"):
+//
+//   - opclose:    every Operator Open is balanced by Close on all
+//     paths, and Close errors are never silently dropped.
+//   - costcharge: an Operator whose Open/Next does per-row work must
+//     charge ctx.Counter (Table 1 cost conservation).
+//   - orderprop:  every plan.Node construction declares its output
+//     Ordering, or explicitly marks itself unordered (interesting-
+//     order memo honesty).
+//   - exhaustive: switches over the Limitation 3 filter-set variant
+//     enums cover every variant; type switches over expr.Expr cover
+//     every expression form or carry a default.
+//   - floatcmp:   cost dominance comparisons go through the epsilon
+//     helpers in internal/cost, never raw float operators.
+//
+// A finding is suppressed by a "//lint:ignore <analyzer> <reason>"
+// comment on the flagged line or the line directly above it.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+
+	"filterjoin/internal/lint/analysis"
+	"filterjoin/internal/lint/loader"
+)
+
+// All returns the full analyzer suite in deterministic order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		Opclose,
+		Costcharge,
+		Orderprop,
+		Exhaustive,
+		Floatcmp,
+	}
+}
+
+// enforcedPackage reports whether an analyzer scoped to the given real
+// package set should run on the package: either the path is in the
+// set, or it is an analysistest fixture (loaded under "fixture/").
+func enforcedPackage(path string, real map[string]bool) bool {
+	return real[path] || strings.HasPrefix(path, "fixture/")
+}
+
+// ignoreRe matches one suppression directive.
+var ignoreRe = regexp.MustCompile(`//lint:ignore\s+([a-z,]+)\s+\S`)
+
+// ignoresIn collects, per file line, the analyzer names suppressed on
+// that line. A directive suppresses both its own line and the next
+// line, so it works as a trailing comment and as a standalone comment
+// above the flagged statement.
+func ignoresIn(pkg *loader.Package, fset *token.FileSet) map[string]map[int][]string {
+	out := map[string]map[int][]string{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := out[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]string{}
+					out[pos.Filename] = byLine
+				}
+				names := strings.Split(m[1], ",")
+				byLine[pos.Line] = append(byLine[pos.Line], names...)
+				byLine[pos.Line+1] = append(byLine[pos.Line+1], names...)
+			}
+		}
+	}
+	return out
+}
+
+// Run applies every analyzer to every package and returns the
+// surviving (unsuppressed) diagnostics sorted by position.
+func Run(fset *token.FileSet, pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		if pkg.Pkg == nil {
+			continue
+		}
+		ignores := ignoresIn(pkg, fset)
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := fset.Position(d.Pos)
+				for _, name := range ignores[pos.Filename][pos.Line] {
+					if name == d.Analyzer {
+						return
+					}
+				}
+				diags = append(diags, d)
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

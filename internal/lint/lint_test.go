@@ -1,0 +1,56 @@
+package lint_test
+
+import (
+	"testing"
+
+	"filterjoin/internal/lint"
+	"filterjoin/internal/lint/analysistest"
+	"filterjoin/internal/lint/loader"
+)
+
+// Each analyzer runs over its golden fixture package: flagged lines
+// carry `// want` comments, clean idioms and //lint:ignore suppression
+// carry none.
+
+func TestOpclose(t *testing.T)    { analysistest.Run(t, lint.Opclose, "opclose") }
+func TestCostcharge(t *testing.T) { analysistest.Run(t, lint.Costcharge, "costcharge") }
+func TestOrderprop(t *testing.T)  { analysistest.Run(t, lint.Orderprop, "orderprop") }
+func TestExhaustive(t *testing.T) { analysistest.Run(t, lint.Exhaustive, "exhaustive") }
+func TestFloatcmp(t *testing.T)   { analysistest.Run(t, lint.Floatcmp, "floatcmp") }
+
+// TestRealTreeClean is the suite's anchor: the shipped tree must be
+// violation-free, so any regression an analyzer can see fails `go test`
+// as well as the CI optlint step.
+func TestRealTreeClean(t *testing.T) {
+	l, err := loader.New(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags, err := lint.Run(l.Fset, pkgs, lint.All())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, d := range diags {
+		pos := l.Fset.Position(d.Pos)
+		t.Errorf("%s:%d:%d: %s (%s)", pos.Filename, pos.Line, pos.Column, d.Message, d.Analyzer)
+	}
+}
+
+// TestAllNamesUnique guards the suppression syntax: directive names
+// must match analyzer names exactly.
+func TestAllNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range lint.All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q incompletely declared", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}

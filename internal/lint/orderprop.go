@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"filterjoin/internal/lint/analysis"
+)
+
+// Orderprop enforces the interesting-order contract on physical plan
+// construction: every plan.Node composite literal must declare the
+// node's output Ordering — explicitly ordered, or explicitly unordered
+// via `Ordering: nil` — or have the Ordering field assigned in the
+// same function. A constructor that silently leaves Ordering unset
+// puts the node in the memo's "" bucket even when its operator really
+// produces sorted output, so the optimizer both loses sort-elision
+// opportunities and, worse, can cost a downstream merge join as if a
+// sort were still required. The memo's property buckets (PR 2) are
+// only honest when every constructor states what it knows.
+var Orderprop = &analysis.Analyzer{
+	Name: "orderprop",
+	Doc:  "require every plan.Node construction to declare its output Ordering",
+	Run:  runOrderprop,
+}
+
+const planPkgPath = "filterjoin/internal/plan"
+
+func runOrderprop(pass *analysis.Pass) error {
+	planPkg := pass.ImportedPackage(planPkgPath)
+	if planPkg == nil {
+		return nil
+	}
+	nodeObj := planPkg.Scope().Lookup("Node")
+	if nodeObj == nil {
+		return nil
+	}
+	nodeType := nodeObj.Type()
+
+	for _, file := range pass.Files {
+		// Functions that assign .Ordering anywhere in their body may
+		// build the literal first and attach the property afterwards.
+		assigners := map[ast.Node]bool{}
+		analysis.WithStack(file, func(n ast.Node, stack []ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				if sel, ok := lhs.(*ast.SelectorExpr); ok && sel.Sel.Name == "Ordering" {
+					for _, anc := range stack {
+						switch anc.(type) {
+						case *ast.FuncDecl, *ast.FuncLit:
+							assigners[anc] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+		// Second pass: inspect literals with the enclosing function known.
+		analysis.WithStack(file, func(n ast.Node, stack []ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || !isPlanNodeLit(pass, lit, nodeType) || hasOrderingKey(lit) {
+				return true
+			}
+			// The innermost enclosing function may attach the property
+			// after construction (n.Ordering = ...).
+			var fn ast.Node
+			for i := len(stack) - 1; i >= 0 && fn == nil; i-- {
+				switch stack[i].(type) {
+				case *ast.FuncDecl, *ast.FuncLit:
+					fn = stack[i]
+				}
+			}
+			if fn != nil && assigners[fn] {
+				return true
+			}
+			pass.Reportf(lit.Lbrace, "plan.Node constructed without declaring Ordering; set it (or `Ordering: nil` for explicitly unordered) so the property memo stays honest")
+			return true
+		})
+	}
+	return nil
+}
+
+func isPlanNodeLit(pass *analysis.Pass, lit *ast.CompositeLit, nodeType types.Type) bool {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	return types.Identical(t, nodeType)
+}
+
+func hasOrderingKey(lit *ast.CompositeLit) bool {
+	for _, el := range lit.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Ordering" {
+				return true
+			}
+		}
+	}
+	return false
+}

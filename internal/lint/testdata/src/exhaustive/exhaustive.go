@@ -1,0 +1,80 @@
+// Package exhaustive exercises the exhaustive analyzer: switches over
+// the closed plan-variant enums must list every member (default does
+// not excuse), and type switches over the expression interfaces must
+// cover every implementer or carry a default.
+package exhaustive
+
+import (
+	"filterjoin/internal/catalog"
+	"filterjoin/internal/core"
+	"filterjoin/internal/expr"
+)
+
+func kindPartial(k catalog.Kind) int {
+	switch k { // want "switch over catalog.Kind is missing variants"
+	case catalog.KindBase:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func kindFull(k catalog.Kind) int {
+	switch k {
+	case catalog.KindBase:
+		return 1
+	case catalog.KindView:
+		return 2
+	case catalog.KindRemote:
+		return 3
+	case catalog.KindFunc:
+		return 4
+	}
+	return 0
+}
+
+func reprPartial(r core.FilterRepr) string {
+	switch r { // want "switch over core.FilterRepr is missing variant"
+	case core.ReprExact:
+		return "exact"
+	}
+	return ""
+}
+
+func accessFull(a core.InnerAccess) bool {
+	switch a {
+	case core.AccessScanFilter, core.AccessIndexProbe:
+		return true
+	case core.AccessMagicView, core.AccessRemote, core.AccessFuncCalls:
+		return false
+	}
+	return false
+}
+
+func exprPartial(e expr.Expr) int {
+	switch e.(type) { // want "type switch over expr.Expr has no default and is missing implementers"
+	case expr.Col:
+		return 1
+	case expr.Lit:
+		return 2
+	}
+	return 0
+}
+
+func exprDefaulted(e expr.Expr) int {
+	switch e.(type) {
+	case expr.Col:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func suppressed(k catalog.Kind) int {
+	//lint:ignore exhaustive fixture: only stored kinds reach this path
+	switch k {
+	case catalog.KindBase, catalog.KindRemote:
+		return 1
+	}
+	return 0
+}

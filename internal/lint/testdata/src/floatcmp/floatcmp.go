@@ -1,0 +1,38 @@
+// Package floatcmp exercises the floatcmp analyzer: raw float
+// comparisons on cost-valued expressions are flagged; epsilon helpers,
+// constant range guards, and non-cost floats pass.
+package floatcmp
+
+import "filterjoin/internal/cost"
+
+func pickCheaper(costA, costB float64) float64 {
+	if costA < costB { // want "raw float comparison on cost values"
+		return costA
+	}
+	return costB
+}
+
+func dominates(m cost.Model, a, b cost.Estimate) bool {
+	return m.TotalEstimate(a) <= m.TotalEstimate(b) // want "raw float comparison on cost values"
+}
+
+func tied(totalA, totalB float64) bool {
+	return totalA == totalB // want "raw float comparison on cost values"
+}
+
+func viaHelpers(m cost.Model, a, b cost.Estimate) bool {
+	return cost.LessEq(m.TotalEstimate(a), m.TotalEstimate(b))
+}
+
+func rangeGuard(total float64) bool {
+	return total > 0 // constant comparisons are guards, not dominance
+}
+
+func notCost(x, y float64) bool {
+	return x < y // names carry no cost convention
+}
+
+func suppressed(costA, costB float64) bool {
+	//lint:ignore floatcmp fixture: exact replay comparison is intended
+	return costA == costB
+}

@@ -1,0 +1,105 @@
+// Package opclose exercises the opclose analyzer: dropped Close
+// errors, Open without Close on an error path, field-level pairing,
+// and //lint:ignore suppression.
+package opclose
+
+import (
+	"errors"
+
+	"filterjoin/internal/exec"
+	"filterjoin/internal/schema"
+	"filterjoin/internal/value"
+)
+
+// fakeOp implements exec.Operator and closes the child it opens.
+type fakeOp struct {
+	child exec.Operator
+}
+
+func (f *fakeOp) Schema() *schema.Schema { return nil }
+
+func (f *fakeOp) Open(ctx *exec.Context) error {
+	return f.child.Open(ctx)
+}
+
+func (f *fakeOp) Next(ctx *exec.Context) (value.Row, bool, error) {
+	return f.child.Next(ctx)
+}
+
+func (f *fakeOp) Close(ctx *exec.Context) error {
+	return f.child.Close(ctx)
+}
+
+// leakyOp opens its child but no method ever closes it.
+type leakyOp struct {
+	child exec.Operator
+}
+
+func (l *leakyOp) Schema() *schema.Schema { return nil }
+
+func (l *leakyOp) Open(ctx *exec.Context) error {
+	return l.child.Open(ctx) // want "leakyOp.Open opens field child but no method of leakyOp closes it"
+}
+
+func (l *leakyOp) Next(ctx *exec.Context) (value.Row, bool, error) {
+	return l.child.Next(ctx)
+}
+
+func (l *leakyOp) Close(ctx *exec.Context) error { return nil }
+
+func dropBare(ctx *exec.Context, op exec.Operator) error {
+	if err := op.Open(ctx); err != nil {
+		return err
+	}
+	op.Close(ctx) // want "Close error silently dropped"
+	return nil
+}
+
+func dropDefer(ctx *exec.Context, op exec.Operator) error {
+	if err := op.Open(ctx); err != nil {
+		return err
+	}
+	defer op.Close(ctx) // want "deferred Close discards its error"
+	_, _, err := op.Next(ctx)
+	return err
+}
+
+func dropBlank(ctx *exec.Context, op exec.Operator) error {
+	if err := op.Open(ctx); err != nil {
+		return err
+	}
+	_ = op.Close(ctx) // want "Close error explicitly discarded"
+	return nil
+}
+
+func leakOnError(ctx *exec.Context, op exec.Operator) error {
+	if err := op.Open(ctx); err != nil { // want "op.Open is not balanced by a Close on every path"
+		return err
+	}
+	_, _, err := op.Next(ctx)
+	if err != nil {
+		return err // op is still open here
+	}
+	return op.Close(ctx)
+}
+
+func balanced(ctx *exec.Context, op exec.Operator) error {
+	if err := op.Open(ctx); err != nil {
+		return err
+	}
+	for {
+		_, ok, err := op.Next(ctx)
+		if err != nil {
+			return errors.Join(err, op.Close(ctx))
+		}
+		if !ok {
+			break
+		}
+	}
+	return op.Close(ctx)
+}
+
+func suppressed(ctx *exec.Context, op exec.Operator) {
+	//lint:ignore opclose fixture asserts the directive reaches the next line
+	op.Close(ctx)
+}

@@ -1,0 +1,43 @@
+// Package orderprop exercises the orderprop analyzer: every plan.Node
+// composite literal must declare Ordering, mark itself unordered with
+// an explicit nil, or live in a function that assigns .Ordering.
+package orderprop
+
+import "filterjoin/internal/plan"
+
+func missing() *plan.Node {
+	return &plan.Node{ // want "plan.Node constructed without declaring Ordering"
+		Kind: "Mystery",
+	}
+}
+
+func missingValue() plan.Node {
+	return plan.Node{ // want "plan.Node constructed without declaring Ordering"
+		Kind: "Mystery",
+	}
+}
+
+func explicitNil() *plan.Node {
+	return &plan.Node{
+		Kind:     "Scan",
+		Ordering: nil, // heap order: explicitly unordered
+	}
+}
+
+func explicitOrder() *plan.Node {
+	return &plan.Node{
+		Kind:     "IndexScan",
+		Ordering: plan.Ordering{{Cols: []int{0}}},
+	}
+}
+
+func assignsAfter() *plan.Node {
+	n := &plan.Node{Kind: "Join"}
+	n.Ordering = plan.Ordering{{Cols: []int{1}}}
+	return n
+}
+
+func suppressed() *plan.Node {
+	//lint:ignore orderprop fixture: ordering attached by the caller
+	return &plan.Node{Kind: "Shim"}
+}

@@ -249,7 +249,7 @@ func (o *Optimizer) buildStoredLeaf(ctx *Ctx, ri *RelInfo) {
 	// turns the leaf into an index lookup when that is cheaper.
 	if localLocal != nil && o.methodEnabled("indexaccess") {
 		if ixEst, ixMk, ixDetail, ok := o.indexAccessPlan(ri, localLocal, alias); ok {
-			if o.Model.TotalEstimate(ixEst) < o.Model.TotalEstimate(est) {
+			if cost.Less(o.Model.TotalEstimate(ixEst), o.Model.TotalEstimate(est)) {
 				est, mk = ixEst, ixMk
 				kind = "IndexLookup"
 				detail += " " + ixDetail
@@ -278,6 +278,7 @@ func (o *Optimizer) buildStoredLeaf(ctx *Ctx, ri *RelInfo) {
 		OutSchema: ri.Schema,
 		ColMap:    ri.ColMap,
 		Rels:      query.NewRelSet(ri.Index),
+		Ordering:  nil, // heap scans, index lookups, and Ship promise no order
 		Make:      mk,
 	})
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"filterjoin/internal/cost"
 	"filterjoin/internal/plan"
 	"filterjoin/internal/query"
 )
@@ -47,11 +48,11 @@ func (o *Optimizer) keepCandidate(ctx *Ctx, tbl propTable, ns query.RelSet, cand
 	}
 	prop := ctx.interestingPrefix(cand.Ordering)
 	key := prop.Key()
-	cost := cand.Total(o.Model)
+	candCost := cand.Total(o.Model)
 
 	kept := true
 	for _, e := range tbl {
-		if e.node.Total(o.Model) <= cost && e.node.Ordering.Satisfies(prop) {
+		if cost.LessEq(e.node.Total(o.Model), candCost) && e.node.Ordering.Satisfies(prop) {
 			kept = false
 			break
 		}
@@ -64,7 +65,7 @@ func (o *Optimizer) keepCandidate(ctx *Ctx, tbl propTable, ns query.RelSet, cand
 				continue
 			}
 			e := tbl[k]
-			if cost <= e.node.Total(o.Model) && cand.Ordering.Satisfies(e.prop) {
+			if cost.LessEq(candCost, e.node.Total(o.Model)) && cand.Ordering.Satisfies(e.prop) {
 				delete(tbl, k)
 			}
 		}
@@ -72,7 +73,7 @@ func (o *Optimizer) keepCandidate(ctx *Ctx, tbl propTable, ns query.RelSet, cand
 	if o.Traces() {
 		o.trace(TraceEvent{Kind: EvCandidate, Subset: ctx.RelSetName(ns),
 			Method: cand.Kind, Detail: cand.Detail,
-			Cost: cost, Kept: kept, Prop: ctx.propName(prop)})
+			Cost: candCost, Kept: kept, Prop: ctx.propName(prop)})
 	}
 	return kept
 }
@@ -197,7 +198,7 @@ func (o *Optimizer) finishBest(ctx *Ctx, tbl propTable) (*plan.Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		if best == nil || p.Total(o.Model) < best.Total(o.Model) {
+		if best == nil || cost.Less(p.Total(o.Model), best.Total(o.Model)) {
 			best = p
 		}
 	}

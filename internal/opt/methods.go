@@ -56,9 +56,8 @@ func (c *Ctx) builtinCandidates(outer *plan.Node, inner int) ([]*plan.Node, erro
 	ext := outer.Ordering.ExtendEquiv(outerCols, innerCols)
 
 	var cands []*plan.Node
-	add := func(n *plan.Node, ord plan.Ordering) {
+	add := func(n *plan.Node) {
 		if n != nil {
-			n.Ordering = ord
 			cands = append(cands, n)
 		}
 	}
@@ -66,7 +65,7 @@ func (c *Ctx) builtinCandidates(outer *plan.Node, inner int) ([]*plan.Node, erro
 	if ri.Access != nil {
 		if len(outerCols) > 0 {
 			if c.O.methodEnabled("hash") {
-				add(c.hashJoinCand(outer, ri, outerCols, innerCols, residual, rows, outStats, combined, rels), ext)
+				add(c.hashJoinCand(outer, ri, outerCols, innerCols, residual, rows, outStats, combined, rels, ext))
 			}
 			if c.O.methodEnabled("merge") {
 				if n := c.mergeJoinCand(outer, ri, outerCols, innerCols, residual, rows, outStats, combined, rels); n != nil {
@@ -75,22 +74,22 @@ func (c *Ctx) builtinCandidates(outer *plan.Node, inner int) ([]*plan.Node, erro
 			}
 		}
 		if c.O.methodEnabled("nlj") {
-			add(c.nljCand(outer, ri, preds, rows, outStats, combined, rels), ext)
+			add(c.nljCand(outer, ri, preds, rows, outStats, combined, rels, ext))
 		}
 	}
 	if len(outerCols) > 0 && ri.Entry.Kind == catalog.KindBase && c.O.methodEnabled("indexnl") {
-		add(c.indexNLCand(outer, ri, preds, outerCols, innerCols, rows, outStats, combined, rels), ext)
+		add(c.indexNLCand(outer, ri, preds, outerCols, innerCols, rows, outStats, combined, rels, ext))
 	}
 	if len(outerCols) > 0 && ri.Entry.Kind == catalog.KindRemote && c.O.methodEnabled("fetchmatches") {
-		add(c.fetchMatchesCand(outer, ri, preds, outerCols, innerCols, rows, outStats, combined, rels), ext)
+		add(c.fetchMatchesCand(outer, ri, preds, outerCols, innerCols, rows, outStats, combined, rels, ext))
 	}
 	if ri.Entry.Kind == catalog.KindFunc && (c.O.methodEnabled("funcprobe") || c.O.methodEnabled("funcprobememo")) {
-		ns, err := c.funcProbeCands(outer, ri, preds, outerCols, innerCols, rows, outStats, combined, rels)
+		ns, err := c.funcProbeCands(outer, ri, preds, outerCols, innerCols, rows, outStats, combined, rels, ext)
 		if err != nil {
 			return nil, err
 		}
 		for _, n := range ns {
-			add(n, ext)
+			add(n)
 		}
 	}
 	return cands, nil
@@ -109,7 +108,7 @@ func keyDetail(c *Ctx, outerCols, innerCols []int) string {
 	return s
 }
 
-func (c *Ctx) hashJoinCand(outer *plan.Node, ri *RelInfo, outerCols, innerCols []int, residual []*PredInfo, rows float64, outStats *stats.RelStats, combined []int, rels queryRelSet) *plan.Node {
+func (c *Ctx) hashJoinCand(outer *plan.Node, ri *RelInfo, outerCols, innerCols []int, residual []*PredInfo, rows float64, outStats *stats.RelStats, combined []int, rels queryRelSet, ord plan.Ordering) *plan.Node {
 	a := ri.Access
 	outerPos, ok := OuterKeyPositions(outer, outerCols)
 	if !ok {
@@ -133,6 +132,7 @@ func (c *Ctx) hashJoinCand(outer *plan.Node, ri *RelInfo, outerCols, innerCols [
 		OutSchema: outer.OutSchema.Concat(a.OutSchema),
 		ColMap:    combined,
 		Rels:      rels,
+		Ordering:  ord,
 		Make: func() exec.Operator {
 			return exec.NewHashJoinProbeFirst(innerMk(), outerMk(), innerPos, outerPos, res)
 		},
@@ -186,7 +186,7 @@ func (c *Ctx) mergeJoinCand(outer *plan.Node, ri *RelInfo, outerCols, innerCols 
 	})
 }
 
-func (c *Ctx) nljCand(outer *plan.Node, ri *RelInfo, preds []*PredInfo, rows float64, outStats *stats.RelStats, combined []int, rels queryRelSet) *plan.Node {
+func (c *Ctx) nljCand(outer *plan.Node, ri *RelInfo, preds []*PredInfo, rows float64, outStats *stats.RelStats, combined []int, rels queryRelSet, ord plan.Ordering) *plan.Node {
 	a := ri.Access
 	pagesA := pagesOf(a.Rows, a.OutSchema.RowWidth())
 	est := outer.Est.Plus(a.Est)
@@ -206,6 +206,7 @@ func (c *Ctx) nljCand(outer *plan.Node, ri *RelInfo, preds []*PredInfo, rows flo
 		OutSchema: outer.OutSchema.Concat(a.OutSchema),
 		ColMap:    combined,
 		Rels:      rels,
+		Ordering:  ord,
 		Make: func() exec.Operator {
 			return exec.NewNestedLoopJoin(outerMk(), exec.NewMaterialize(innerMk(), name), pred)
 		},
@@ -320,7 +321,7 @@ func (c *Ctx) indexJoinShape(outer *plan.Node, ri *RelInfo, preds []*PredInfo, o
 	return ix, outerPos, k, matchPages, residual, true
 }
 
-func (c *Ctx) indexNLCand(outer *plan.Node, ri *RelInfo, preds []*PredInfo, outerCols, innerCols []int, rows float64, outStats *stats.RelStats, combined []int, rels queryRelSet) *plan.Node {
+func (c *Ctx) indexNLCand(outer *plan.Node, ri *RelInfo, preds []*PredInfo, outerCols, innerCols []int, rows float64, outStats *stats.RelStats, combined []int, rels queryRelSet, ord plan.Ordering) *plan.Node {
 	ix, outerPos, k, matchPages, residual, ok := c.indexJoinShape(outer, ri, preds, outerCols, innerCols, combined)
 	if !ok {
 		return nil
@@ -340,13 +341,14 @@ func (c *Ctx) indexNLCand(outer *plan.Node, ri *RelInfo, preds []*PredInfo, oute
 		OutSchema: outer.OutSchema.Concat(ri.Schema),
 		ColMap:    combined,
 		Rels:      rels,
+		Ordering:  ord,
 		Make: func() exec.Operator {
 			return exec.NewIndexNLJoin(outerMk(), t, ix, outerPos, residual, alias)
 		},
 	})
 }
 
-func (c *Ctx) fetchMatchesCand(outer *plan.Node, ri *RelInfo, preds []*PredInfo, outerCols, innerCols []int, rows float64, outStats *stats.RelStats, combined []int, rels queryRelSet) *plan.Node {
+func (c *Ctx) fetchMatchesCand(outer *plan.Node, ri *RelInfo, preds []*PredInfo, outerCols, innerCols []int, rows float64, outStats *stats.RelStats, combined []int, rels queryRelSet, ord plan.Ordering) *plan.Node {
 	ix, outerPos, k, matchPages, residual, ok := c.indexJoinShape(outer, ri, preds, outerCols, innerCols, combined)
 	if !ok {
 		return nil
@@ -374,13 +376,14 @@ func (c *Ctx) fetchMatchesCand(outer *plan.Node, ri *RelInfo, preds []*PredInfo,
 		OutSchema: outer.OutSchema.Concat(ri.Schema),
 		ColMap:    combined,
 		Rels:      rels,
+		Ordering:  ord,
 		Make: func() exec.Operator {
 			return dist.NewFetchMatchesJoin(outerMk(), t, ix, outerPos, residual, alias)
 		},
 	})
 }
 
-func (c *Ctx) funcProbeCands(outer *plan.Node, ri *RelInfo, preds []*PredInfo, outerCols, innerCols []int, rows float64, outStats *stats.RelStats, combined []int, rels queryRelSet) ([]*plan.Node, error) {
+func (c *Ctx) funcProbeCands(outer *plan.Node, ri *RelInfo, preds []*PredInfo, outerCols, innerCols []int, rows float64, outStats *stats.RelStats, combined []int, rels queryRelSet, ord plan.Ordering) ([]*plan.Node, error) {
 	e := ri.Entry
 	// Every argument column must be bound by an equi predicate from the
 	// outer; otherwise the function cannot be invoked at this position.
@@ -464,6 +467,7 @@ func (c *Ctx) funcProbeCands(outer *plan.Node, ri *RelInfo, preds []*PredInfo, o
 			OutSchema: outSchema,
 			ColMap:    combined,
 			Rels:      rels,
+			Ordering:  ord,
 			Make: func() exec.Operator {
 				return udr.NewProbeJoin(outerMk(), e, argPos, residual, false, alias)
 			},
@@ -489,6 +493,7 @@ func (c *Ctx) funcProbeCands(outer *plan.Node, ri *RelInfo, preds []*PredInfo, o
 			OutSchema: outSchema,
 			ColMap:    combined,
 			Rels:      rels,
+			Ordering:  ord,
 			Make: func() exec.Operator {
 				return udr.NewProbeJoin(outerMk(), e, argPos, residual, true, alias)
 			},

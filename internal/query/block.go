@@ -279,6 +279,8 @@ func exprType(e expr.Expr, s *schema.Schema) value.Kind {
 		return p.V.Kind()
 	case expr.Arith:
 		return exprType(p.L, s)
+	case expr.Cmp, expr.And, expr.Or, expr.Not:
+		return value.KindBool
 	}
 	return 0
 }
