@@ -18,7 +18,11 @@ import (
 	"filterjoin/internal/datagen"
 	"filterjoin/internal/exec"
 	"filterjoin/internal/experiments"
+	"filterjoin/internal/expr"
 	"filterjoin/internal/opt"
+	"filterjoin/internal/schema"
+	"filterjoin/internal/storage"
+	"filterjoin/internal/value"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -83,6 +87,9 @@ func BenchmarkE14MultiView(b *testing.B) { benchExperiment(b, "E14") }
 // BenchmarkE15SortElision regenerates the interesting-orders table.
 func BenchmarkE15SortElision(b *testing.B) { benchExperiment(b, "E15") }
 
+// BenchmarkE16Parallel regenerates the intra-query parallelism sweep.
+func BenchmarkE16Parallel(b *testing.B) { benchExperiment(b, "E16") }
+
 // ---------------------------------------------------------------------
 // Engine micro-benchmarks
 // ---------------------------------------------------------------------
@@ -140,6 +147,108 @@ func BenchmarkExecuteFilterJoinPlan(b *testing.B) {
 		b.Fatal(err)
 	}
 	o := opt.New(cat, cost.DefaultModel())
+	o.Register(core.NewMethod(core.Options{}))
+	pl, err := o.OptimizeBlock(datagen.Fig1Query())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := exec.NewContext()
+		if _, err := exec.Count(ctx, pl.Make()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Pre-sizing micro-benchmarks (run with -benchmem): hinted operators use
+// the optimizer's cardinality estimate to pre-size their hash tables and
+// row buffers, trading the estimate for fewer map growths. Compare the
+// allocs/op columns of the Hinted/Unhinted pairs.
+// ---------------------------------------------------------------------
+
+func benchTable(b *testing.B, name string, nRows, keyRange int) *storage.Table {
+	b.Helper()
+	s := schema.New(
+		schema.Column{Table: name, Name: "k", Type: value.KindInt},
+		schema.Column{Table: name, Name: "v", Type: value.KindInt},
+	)
+	t := storage.NewTable(name, s)
+	for i := 0; i < nRows; i++ {
+		t.MustInsert(value.NewInt(int64(i%keyRange)), value.NewInt(int64(i)))
+	}
+	return t
+}
+
+func benchHashJoin(b *testing.B, hint int) {
+	lt := benchTable(b, "l", 20000, 5000)
+	rt := benchTable(b, "r", 20000, 5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := exec.NewHashJoinProbeFirst(exec.NewTableScan(lt, ""), exec.NewTableScan(rt, ""), []int{0}, []int{0}, nil)
+		j.BuildSizeHint = hint
+		ctx := exec.NewContext()
+		if _, err := exec.Count(ctx, j); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashJoinUnhinted(b *testing.B) { benchHashJoin(b, 0) }
+func BenchmarkHashJoinHinted(b *testing.B)   { benchHashJoin(b, 5000) }
+
+func benchGroupBy(b *testing.B, hint int) {
+	t := benchTable(b, "t", 50000, 10000)
+	aggs := []expr.AggSpec{
+		{Kind: expr.AggCount, Name: "n"},
+		{Kind: expr.AggSum, Arg: expr.NewCol(1, "t.v"), Name: "s"},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := exec.NewGroupBy(exec.NewTableScan(t, ""), []int{0}, aggs)
+		g.SizeHint = hint
+		ctx := exec.NewContext()
+		if _, err := exec.Count(ctx, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGroupByUnhinted(b *testing.B) { benchGroupBy(b, 0) }
+func BenchmarkGroupByHinted(b *testing.B)   { benchGroupBy(b, 10000) }
+
+func benchBuildKeySet(b *testing.B, hint int) {
+	t := benchTable(b, "t", 50000, 20000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := exec.NewContext()
+		if _, err := exec.BuildKeySetSized(ctx, exec.NewTableScan(t, ""), []int{0}, hint); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildKeySetUnhinted(b *testing.B) { benchBuildKeySet(b, 0) }
+func BenchmarkBuildKeySetHinted(b *testing.B)   { benchBuildKeySet(b, 20000) }
+
+// BenchmarkExecuteFilterJoinPlanParallel is BenchmarkExecuteFilterJoinPlan
+// with DegreeOfParallelism 4: scans and hash joins run through the
+// exchange operators. Wall-clock gain depends on available cores; the
+// charged cost is identical to the serial run by construction.
+func BenchmarkExecuteFilterJoinPlanParallel(b *testing.B) {
+	p := datagen.DefaultFig1()
+	p.BigFrac = 0.05
+	cat, err := datagen.Fig1Catalog(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := opt.New(cat, cost.DefaultModel())
+	o.DegreeOfParallelism = 4
 	o.Register(core.NewMethod(core.Options{}))
 	pl, err := o.OptimizeBlock(datagen.Fig1Query())
 	if err != nil {

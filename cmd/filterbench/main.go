@@ -8,6 +8,7 @@
 //	filterbench E6 E8       # run selected experiments
 //	filterbench -list       # list experiment ids and titles
 //	filterbench -json E15   # machine-readable reports (perf trajectory)
+//	filterbench -json -parallel   # the parallel-execution sweep (E16) only
 package main
 
 import (
@@ -22,8 +23,9 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	asJSON := flag.Bool("json", false, "emit reports as a JSON array instead of text tables")
+	parallel := flag.Bool("parallel", false, "run the intra-query parallelism sweep (E16) only")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: filterbench [-list] [-json] [experiment ids...]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: filterbench [-list] [-json] [-parallel] [experiment ids...]\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -36,6 +38,10 @@ func main() {
 	}
 
 	var toRun []experiments.Entry
+	if *parallel {
+		e, _ := experiments.ByID("E16")
+		toRun = append(toRun, e)
+	}
 	if args := flag.Args(); len(args) > 0 {
 		for _, id := range args {
 			e, ok := experiments.ByID(id)
@@ -45,7 +51,7 @@ func main() {
 			}
 			toRun = append(toRun, e)
 		}
-	} else {
+	} else if !*parallel {
 		toRun = experiments.Registry
 	}
 

@@ -56,6 +56,12 @@ type Config struct {
 	FilterJoin core.Options
 	// MaxRelations caps the DP size (default 14).
 	MaxRelations int
+	// DegreeOfParallelism sets the intra-query worker count. 0 or 1 is
+	// the classic serial engine; above 1 the optimizer emits exchange
+	// operators (parallel scans, partitioned hash joins) and fans the
+	// parametric coster's sample points out across optimizer forks.
+	// Results and merged cost counters are identical at every setting.
+	DegreeOfParallelism int
 }
 
 // DB is an in-memory database instance: a catalog plus a configured
@@ -83,6 +89,9 @@ func Open(cfg Config) *DB {
 	o := opt.New(cat, model)
 	if cfg.MaxRelations > 0 {
 		o.MaxRelations = cfg.MaxRelations
+	}
+	if cfg.DegreeOfParallelism > 1 {
+		o.DegreeOfParallelism = cfg.DegreeOfParallelism
 	}
 	db := &DB{cat: cat, o: o, model: model}
 	if !cfg.DisableFilterJoin {

@@ -18,9 +18,10 @@ import (
 // deltas must sum to the execution context's root counter — across join
 // methods, re-opened inners, Filter Joins with deferred sub-planning,
 // remote shipping, and function probes.
-func checkConservation(t *testing.T, name string, cat *catalog.Catalog, b *query.Block, model cost.Model, fjOpts *core.Options) {
+func checkConservation(t *testing.T, name string, cat *catalog.Catalog, b *query.Block, model cost.Model, fjOpts *core.Options, dop int) {
 	t.Helper()
 	o := opt.New(cat, model)
+	o.DegreeOfParallelism = dop
 	if fjOpts != nil {
 		o.Register(core.NewMethod(*fjOpts))
 	}
@@ -107,9 +108,19 @@ func TestCostAttributionConservation(t *testing.T) {
 	}
 	for _, w := range workloads {
 		for cfgName, fjOpts := range fjConfigs {
-			t.Run(w.name+"/"+cfgName, func(t *testing.T) {
-				checkConservation(t, w.name+"/"+cfgName, w.cat, w.block(), w.model, fjOpts)
-			})
+			// dop=0 is the serial path; dop=4 routes scans and hash joins
+			// through the exchange operators, whose worker counters must be
+			// absorbed back for conservation to keep holding exactly.
+			for _, dop := range []int{0, 4} {
+				name := w.name + "/" + cfgName
+				if dop > 1 {
+					name += "/parallel"
+				}
+				fjOpts, w := fjOpts, w
+				t.Run(name, func(t *testing.T) {
+					checkConservation(t, name, w.cat, w.block(), w.model, fjOpts, dop)
+				})
+			}
 		}
 	}
 }

@@ -9,6 +9,7 @@ package catalog
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"filterjoin/internal/query"
 	"filterjoin/internal/schema"
@@ -68,6 +69,11 @@ type Entry struct {
 	FnStats   *stats.RelStats
 	FnPerCall float64 // average rows returned per invocation (estimate)
 
+	// mu guards the lazily computed caches below. Entries are shared
+	// between an optimizer and its forks (Catalog.Clone copies the map,
+	// not the entries), so concurrent parametric costing may race to fill
+	// them; both computations are deterministic, so first-write-wins.
+	mu         sync.Mutex
 	tableStats *stats.RelStats
 	viewSchema *schema.Schema
 }
@@ -81,6 +87,8 @@ func (e *Entry) Schema(c *Catalog) (*schema.Schema, error) {
 	case KindBase, KindRemote:
 		return e.Table.Schema(), nil
 	case KindView:
+		e.mu.Lock()
+		defer e.mu.Unlock()
 		if e.viewSchema == nil {
 			s, err := e.ViewDef.OutputSchema(c, e.Name)
 			if err != nil {
@@ -101,6 +109,8 @@ func (e *Entry) Schema(c *Catalog) (*schema.Schema, error) {
 func (e *Entry) Stats() *stats.RelStats {
 	switch e.Kind {
 	case KindBase, KindRemote:
+		e.mu.Lock()
+		defer e.mu.Unlock()
 		if e.tableStats == nil {
 			e.tableStats = stats.Collect(e.Table)
 		}
@@ -114,7 +124,11 @@ func (e *Entry) Stats() *stats.RelStats {
 }
 
 // InvalidateStats drops cached statistics (after bulk loads).
-func (e *Entry) InvalidateStats() { e.tableStats = nil }
+func (e *Entry) InvalidateStats() {
+	e.mu.Lock()
+	e.tableStats = nil
+	e.mu.Unlock()
+}
 
 // Catalog is a name → relation map.
 type Catalog struct {
@@ -191,6 +205,19 @@ func (c *Catalog) Has(name string) bool {
 
 // Drop removes a relation.
 func (c *Catalog) Drop(name string) { delete(c.entries, name) }
+
+// Clone returns a catalog with its own name map over the same entries.
+// Registrations and drops on the clone are invisible to the original, so
+// a forked optimizer can stage transient relations (the parametric
+// coster's filter tables) without mutating the shared catalog. The
+// entries themselves are shared; their lazy caches are mutex-guarded.
+func (c *Catalog) Clone() *Catalog {
+	cp := &Catalog{entries: make(map[string]*Entry, len(c.entries))}
+	for n, e := range c.entries {
+		cp.entries[n] = e
+	}
+	return cp
+}
 
 // Names lists registered relation names, sorted.
 func (c *Catalog) Names() []string {

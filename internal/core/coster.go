@@ -3,11 +3,14 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 
+	"filterjoin/internal/catalog"
 	"filterjoin/internal/cost"
 	"filterjoin/internal/opt"
-	"filterjoin/internal/plan"
+	"filterjoin/internal/schema"
 	"filterjoin/internal/stats"
 	"filterjoin/internal/storage"
 )
@@ -42,12 +45,20 @@ type costerKey struct {
 	attrs string
 }
 
+// attrsKey renders an attribute set as a cache key. This sits on the
+// coster-cache hot path (every view candidate probes the cache), so it
+// formats with strconv.Itoa into one pre-sized builder rather than
+// fmt.Sprintf per column plus a joined slice.
 func attrsKey(cols []int) string {
-	s := make([]string, len(cols))
+	var b strings.Builder
+	b.Grow(4 * len(cols))
 	for i, c := range cols {
-		s[i] = fmt.Sprintf("%d", c)
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(c))
 	}
-	return strings.Join(s, ",")
+	return b.String()
 }
 
 // buildViewCoster samples the restricted view at the configured filter
@@ -81,37 +92,88 @@ func (m *Method) buildViewCoster(c *opt.Ctx, ri *opt.RelInfo, innerLocal, bodyCo
 	if len(sels) == 0 {
 		sels = DefaultSamplePoints
 	}
-	for _, sel := range sels {
-		fCard := sel * domain
-		if fCard < 1 {
-			fCard = 1
-		}
-		fName := o.TempName("fcost")
-		ft := storage.NewTable(fName, fSchema)
-		o.Cat.AddTable(ft)
-		fCols := make([]stats.ColStats, fSchema.Len())
-		for i := range fCols {
-			fCols[i] = stats.ColStats{Distinct: fCard}
-		}
-		o.StatsOverride[fName] = &stats.RelStats{Rows: fCard, Cols: fCols}
-
-		rb, err := restrictedBlock(o.Cat, e, bodyCols, fName)
-		if err == nil {
-			var n *plan.Node
-			n, err = o.OptimizeBlock(rb)
-			if err == nil {
-				vc.Points = append(vc.Points, SamplePoint{Sel: sel, Est: n.Est, Rows: n.Rows})
-			}
-		}
-		delete(o.StatsOverride, fName)
-		o.Cat.Drop(fName)
+	if dop := o.DOP(); dop > 1 && len(sels) > 1 {
+		pts, err := sampleConcurrently(o, e, fSchema, bodyCols, domain, sels, dop)
 		if err != nil {
-			return nil, fmt.Errorf("core: sampling restricted view %s at sel=%.3f: %w", e.Name, sel, err)
+			return nil, err
+		}
+		vc.Points = pts
+	} else {
+		for _, sel := range sels {
+			p, err := sampleOne(o, e, fSchema, bodyCols, sel, domain)
+			if err != nil {
+				return nil, fmt.Errorf("core: sampling restricted view %s at sel=%.3f: %w", e.Name, sel, err)
+			}
+			vc.Points = append(vc.Points, p)
 		}
 	}
 	sort.Slice(vc.Points, func(i, j int) bool { return vc.Points[i].Sel < vc.Points[j].Sel })
 	vc.fitCardinalityLine()
 	return vc, nil
+}
+
+// sampleOne costs one equivalence class: it stages a transient, empty
+// filter table with overridden statistics on o's catalog, optimizes the
+// magic-rewritten block, and returns (cost, rows) at that selectivity.
+// o may be the shared optimizer (serial sampling) or a private fork.
+func sampleOne(o *opt.Optimizer, e *catalog.Entry, fSchema *schema.Schema, bodyCols []int, sel, domain float64) (SamplePoint, error) {
+	fCard := sel * domain
+	if fCard < 1 {
+		fCard = 1
+	}
+	fName := o.TempName("fcost")
+	ft := storage.NewTable(fName, fSchema)
+	o.Cat.AddTable(ft)
+	fCols := make([]stats.ColStats, fSchema.Len())
+	for i := range fCols {
+		fCols[i] = stats.ColStats{Distinct: fCard}
+	}
+	o.StatsOverride[fName] = &stats.RelStats{Rows: fCard, Cols: fCols}
+	defer func() {
+		delete(o.StatsOverride, fName)
+		o.Cat.Drop(fName)
+	}()
+	rb, err := restrictedBlock(o.Cat, e, bodyCols, fName)
+	if err != nil {
+		return SamplePoint{}, err
+	}
+	n, err := o.OptimizeBlock(rb)
+	if err != nil {
+		return SamplePoint{}, err
+	}
+	return SamplePoint{Sel: sel, Est: n.Est, Rows: n.Rows}, nil
+}
+
+// sampleConcurrently fans the sample selectivities out across dop
+// goroutines, each nested optimization running on its own optimizer fork
+// (cloned catalog, private override/temp state) so the shared optimizer
+// is never mutated. Results land in a position-indexed slice and fork
+// metrics are merged back in sample order, so the outcome is
+// deterministic and identical to serial sampling.
+func sampleConcurrently(o *opt.Optimizer, e *catalog.Entry, fSchema *schema.Schema, bodyCols []int, domain float64, sels []float64, dop int) ([]SamplePoint, error) {
+	pts := make([]SamplePoint, len(sels))
+	errs := make([]error, len(sels))
+	forks := make([]*opt.Optimizer, len(sels))
+	sem := make(chan struct{}, dop)
+	var wg sync.WaitGroup
+	for i, sel := range sels {
+		forks[i] = o.Fork()
+		wg.Add(1)
+		go func(i int, sel float64, f *opt.Optimizer) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pts[i], errs[i] = sampleOne(f, e, fSchema, bodyCols, sel, domain)
+		}(i, sel, forks[i])
+	}
+	wg.Wait()
+	for i := range sels {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("core: sampling restricted view %s at sel=%.3f: %w", e.Name, sels[i], errs[i])
+		}
+		o.Metrics.Merge(forks[i].Metrics)
+	}
+	return pts, nil
 }
 
 // fitCardinalityLine least-squares-fits rows = a + b·sel over the sample

@@ -110,8 +110,9 @@ func (f *filterJoinOp) Open(ctx *exec.Context) error {
 		pFilter, pJoin = s.outerMake(), s.outerMake()
 	}
 
-	// Step 2: the distinct filter set F.
-	keys, err := exec.BuildKeySet(ctx, pFilter, s.outerFilterPos)
+	// Step 2: the distinct filter set F, pre-sized from the optimizer's
+	// estimated |F|.
+	keys, err := exec.BuildKeySetSized(ctx, pFilter, s.outerFilterPos, int(ch.FilterCard+0.5))
 	if err != nil {
 		return err
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"filterjoin/internal/bloom"
 	"filterjoin/internal/catalog"
@@ -71,6 +72,11 @@ type Method struct {
 	// with its weighted total cost (used by ablation experiments).
 	Trace   func(ch *Choice, total float64)
 	costers map[costerKey]*ViewCoster
+	// mu guards costers, Metrics, and Trace invocations: one Method is
+	// shared by an optimizer and all its forks, so concurrent parametric
+	// costing (DegreeOfParallelism > 1) reaches them from several
+	// goroutines. Serial optimization never contends.
+	mu sync.Mutex
 }
 
 // NewMethod creates a Filter Join method with the given options.
@@ -85,15 +91,47 @@ func NewMethod(opts Options) *Method {
 func (m *Method) Name() string { return "filterjoin" }
 
 // ResetCosterCache drops memoized view costers (after data changes).
-func (m *Method) ResetCosterCache() { m.costers = map[costerKey]*ViewCoster{} }
+func (m *Method) ResetCosterCache() {
+	m.mu.Lock()
+	m.costers = map[costerKey]*ViewCoster{}
+	m.mu.Unlock()
+}
 
 // Costers exposes the cached parametric costers (experiment E3/E4).
 func (m *Method) Costers() []*ViewCoster {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	out := make([]*ViewCoster, 0, len(m.costers))
 	for _, vc := range m.costers {
 		out = append(out, vc)
 	}
 	return out
+}
+
+// viewCosterFor returns the parametric coster for (view, attrs), building
+// it on a miss. The build runs outside the lock (it performs nested
+// optimizations); when concurrent forks race to build the same coster,
+// the first store wins — both builds are deterministic and identical, so
+// the loser's work is merely redundant, never wrong.
+func (m *Method) viewCosterFor(c *opt.Ctx, ri *opt.RelInfo, innerLocal, bodyCols []int) (*ViewCoster, bool, error) {
+	key := costerKey{view: ri.Entry.Name, attrs: attrsKey(innerLocal)}
+	m.mu.Lock()
+	vc, ok := m.costers[key]
+	m.mu.Unlock()
+	if ok {
+		return vc, true, nil
+	}
+	built, err := m.buildViewCoster(c, ri, innerLocal, bodyCols)
+	if err != nil {
+		return nil, false, err
+	}
+	m.mu.Lock()
+	if vc, ok = m.costers[key]; !ok {
+		m.costers[key] = built
+		vc = built
+	}
+	m.mu.Unlock()
+	return vc, false, nil
 }
 
 func pagesOf(rows float64, rowBytes int) float64 {
@@ -163,7 +201,9 @@ func (m *Method) Candidates(c *opt.Ctx, outer *plan.Node, inner int) ([]*plan.No
 				}
 				if n != nil {
 					out = append(out, n)
+					m.mu.Lock()
 					m.Metrics.CandidatesBuilt++
+					m.mu.Unlock()
 				}
 			}
 		}
@@ -425,25 +465,24 @@ func (m *Method) buildCandidate(
 		}
 
 	case catalog.KindView:
-		key := costerKey{view: e.Name, attrs: attrsKey(innerLocal)}
-		vc, okc := m.costers[key]
-		if !okc {
-			var err error
-			vc, err = m.buildViewCoster(c, ri, innerLocal, bodyCols)
-			if err != nil {
-				return nil, err
-			}
-			m.costers[key] = vc
-			m.Metrics.CosterBuilds++
-			if c.O.Traces() {
-				c.O.Emit(opt.TraceEvent{Kind: opt.EvCosterBuild,
-					Detail: fmt.Sprintf("view %s attrs %v (%d sample points)", e.Name, innerLocal, len(vc.Points))})
-			}
-		} else {
+		vc, hit, err := m.viewCosterFor(c, ri, innerLocal, bodyCols)
+		if err != nil {
+			return nil, err
+		}
+		m.mu.Lock()
+		if hit {
 			m.Metrics.CosterHits++
-			if c.O.Traces() {
+		} else {
+			m.Metrics.CosterBuilds++
+		}
+		m.mu.Unlock()
+		if c.O.Traces() {
+			if hit {
 				c.O.Emit(opt.TraceEvent{Kind: opt.EvCosterHit,
 					Detail: fmt.Sprintf("view %s attrs %v", e.Name, innerLocal)})
+			} else {
+				c.O.Emit(opt.TraceEvent{Kind: opt.EvCosterBuild,
+					Detail: fmt.Sprintf("view %s attrs %v (%d sample points)", e.Name, innerLocal, len(vc.Points))})
 			}
 		}
 		comp.FilterCostRk = vc.Cost(fSel)
@@ -528,9 +567,11 @@ func (m *Method) buildCandidate(
 		op.fSchema = fs
 	}
 
+	m.mu.Lock()
 	if m.Trace != nil {
 		m.Trace(ch, model.TotalEstimate(comp.Total()))
 	}
+	m.mu.Unlock()
 	if c.O.Traces() {
 		c.O.Emit(opt.TraceEvent{Kind: opt.EvFJVariant,
 			Subset: c.RelSetName(outer.Rels.With(inner)),

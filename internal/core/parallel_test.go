@@ -1,0 +1,76 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"filterjoin/internal/core"
+	"filterjoin/internal/cost"
+	"filterjoin/internal/opt"
+)
+
+// TestDifferentialParallelExecution is the parallel half of the
+// differential fuzz: every random query, optimized and executed serially
+// and at DegreeOfParallelism 2 and 4, must produce the identical result
+// multiset AND the identical merged cost.Counter totals. Workers charge
+// exactly the serial per-row and per-page units and exchange coordination
+// is cost-free by convention, so counter equality here is exact, not
+// approximate — any divergence means a worker's ledger was lost or a row
+// was double-charged.
+func TestDifferentialParallelExecution(t *testing.T) {
+	model := cost.DefaultModel()
+	trials := 25
+	if testing.Short() {
+		trials = 6
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)*7919 + 3))
+		cat, nTables := randCatalog(rng)
+		q := randQuery(rng, nTables)
+
+		for _, method := range []struct {
+			name string
+			fj   func() *core.Method
+		}{
+			{"plain", func() *core.Method { return nil }},
+			{"fj", func() *core.Method { return core.NewMethod(core.Options{}) }},
+			{"fj-everything", func() *core.Method {
+				return core.NewMethod(core.Options{
+					IncludeStored: true, AttrSubsets: true, Bloom: true,
+					PrefixProductionSets: true,
+				})
+			}},
+		} {
+			oSerial := opt.New(cat, model)
+			if fj := method.fj(); fj != nil {
+				oSerial.Register(fj)
+			}
+			pSerial, err := oSerial.OptimizeBlock(q)
+			if err != nil {
+				t.Fatalf("trial %d (%s serial): optimize: %v", trial, method.name, err)
+			}
+			wantRows, wantCost := runPlan(t, planRunner{pSerial.Make})
+
+			for _, dop := range []int{2, 4} {
+				o := opt.New(cat, model)
+				o.DegreeOfParallelism = dop
+				if fj := method.fj(); fj != nil {
+					o.Register(fj)
+				}
+				p, err := o.OptimizeBlock(q)
+				if err != nil {
+					t.Fatalf("trial %d (%s dop=%d): optimize: %v", trial, method.name, dop, err)
+				}
+				gotRows, gotCost := runPlan(t, planRunner{p.Make})
+				if !equalStrings(gotRows, wantRows) {
+					t.Fatalf("trial %d (%s): dop=%d produced %d rows, serial produced %d\nquery: %s",
+						trial, method.name, dop, len(gotRows), len(wantRows), q)
+				}
+				if gotCost != wantCost {
+					t.Fatalf("trial %d (%s): dop=%d charged %s, serial charged %s\nquery: %s",
+						trial, method.name, dop, gotCost.String(), wantCost.String(), q)
+				}
+			}
+		}
+	}
+}

@@ -18,6 +18,9 @@ type GroupBy struct {
 	Child    Operator
 	GroupIdx []int
 	Aggs     []expr.AggSpec
+	// SizeHint pre-sizes the group hash table from the optimizer's output
+	// cardinality estimate (0 = unknown).
+	SizeHint int
 	out      *schema.Schema
 	results  []value.Row
 	pos      int
@@ -62,8 +65,8 @@ type groupState struct {
 
 // Open implements Operator.
 func (g *GroupBy) Open(ctx *Context) error {
-	groups := map[string]*groupState{}
-	var order []string
+	groups := make(map[string]*groupState, g.SizeHint)
+	order := make([]string, 0, g.SizeHint)
 	if err := g.Child.Open(ctx); err != nil {
 		return err
 	}

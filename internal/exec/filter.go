@@ -18,13 +18,30 @@ type KeySet struct {
 
 // NewKeySet creates an empty key set for keys of the given width.
 func NewKeySet(width int) *KeySet {
-	return &KeySet{keys: map[string]bool{}, width: width}
+	return NewKeySetSized(width, 0)
+}
+
+// NewKeySetSized creates an empty key set pre-sized for about hint
+// distinct keys (0 = unknown).
+func NewKeySetSized(width, hint int) *KeySet {
+	return &KeySet{
+		keys:  make(map[string]bool, hint),
+		rows:  make([]value.Row, 0, hint),
+		width: width,
+	}
 }
 
 // BuildKeySet drains op, projecting each row onto keyIdx, and returns the
 // distinct key set. One CPU operation is charged per input row.
 func BuildKeySet(ctx *Context, op Operator, keyIdx []int) (*KeySet, error) {
-	ks := NewKeySet(len(keyIdx))
+	return BuildKeySetSized(ctx, op, keyIdx, 0)
+}
+
+// BuildKeySetSized is BuildKeySet with a distinct-key-count hint from the
+// optimizer's cardinality estimate (0 = unknown); the hint pre-sizes the
+// set's hash table and row buffer and has no effect on the result.
+func BuildKeySetSized(ctx *Context, op Operator, keyIdx []int, hint int) (*KeySet, error) {
+	ks := NewKeySetSized(len(keyIdx), hint)
 	if err := op.Open(ctx); err != nil {
 		return nil, err
 	}

@@ -1,6 +1,9 @@
 package exec
 
 import (
+	"errors"
+	"sync"
+
 	"filterjoin/internal/expr"
 	"filterjoin/internal/schema"
 	"filterjoin/internal/storage"
@@ -113,11 +116,14 @@ type HashJoin struct {
 	// build‖probe layout; the optimizer uses it to keep the "outer columns
 	// first" convention while building on the inner.
 	EmitProbeFirst bool
-	out            *schema.Schema
-	table          map[string][]value.Row
-	probe          value.Row
-	bucket         []value.Row
-	bpos           int
+	// BuildSizeHint pre-sizes the hash table from the optimizer's build-side
+	// cardinality estimate (0 = unknown).
+	BuildSizeHint int
+	out           *schema.Schema
+	table         map[string][]value.Row
+	probe         value.Row
+	bucket        []value.Row
+	bpos          int
 }
 
 // NewHashJoin builds a hash equi-join; left is the build side and the
@@ -152,7 +158,7 @@ func (j *HashJoin) Schema() *schema.Schema { return j.out }
 
 // Open implements Operator.
 func (j *HashJoin) Open(ctx *Context) error {
-	j.table = map[string][]value.Row{}
+	j.table = make(map[string][]value.Row, j.BuildSizeHint)
 	j.probe = nil
 	j.bucket = nil
 	j.bpos = 0
@@ -445,3 +451,175 @@ func (j *IndexNLJoin) Next(ctx *Context) (value.Row, bool, error) {
 
 // Close implements Operator.
 func (j *IndexNLJoin) Close(ctx *Context) error { return j.Outer.Close(ctx) }
+
+// ParallelHashJoin is the partitioned parallel build+probe path of
+// HashJoin: both inputs are drained in the calling context (so their own
+// operators charge normally), then hash-partitioned on the co-partition
+// keys across DOP workers. Each worker builds a private hash table over
+// its build partition and probes it with its probe partition, charging a
+// private worker counter exactly the units the serial HashJoin charges —
+// one CPU operation per build row inserted, per probe row consumed, and
+// per bucket candidate inspected. Partitioning, worker spawn, and the
+// merge charge nothing (coordination is cost-free by convention), so the
+// merged totals equal a serial HashJoin run over the same inputs.
+//
+// Output order is identical to the serial HashJoin's: a probe row's key
+// partition contains every build row of that key in build order, workers
+// write match lists into per-probe-ordinal slots they exclusively own,
+// and the slots are emitted in probe order. The join therefore preserves
+// the probe side's physical ordering exactly like its serial form.
+type ParallelHashJoin struct {
+	Left, Right         Operator // Left is the build side, Right the probe side
+	LeftKeys, RightKeys []int
+	Residual            expr.Expr
+	EmitProbeFirst      bool
+	BuildSizeHint       int
+	DOP                 int
+	out                 *schema.Schema
+	results             []value.Row
+	pos                 int
+}
+
+// NewParallelHashJoin builds a partitioned hash equi-join with dop
+// workers; left is the build side and the output layout is left‖right.
+func NewParallelHashJoin(left, right Operator, leftKeys, rightKeys []int, residual expr.Expr, dop int) *ParallelHashJoin {
+	return &ParallelHashJoin{
+		Left:      left,
+		Right:     right,
+		LeftKeys:  leftKeys,
+		RightKeys: rightKeys,
+		Residual:  residual,
+		DOP:       clampDOP(dop),
+		out:       left.Schema().Concat(right.Schema()),
+	}
+}
+
+// NewParallelHashJoinProbeFirst is the partitioned parallel counterpart
+// of NewHashJoinProbeFirst: builds on left, emits right‖left.
+func NewParallelHashJoinProbeFirst(left, right Operator, leftKeys, rightKeys []int, residual expr.Expr, dop int) *ParallelHashJoin {
+	j := NewParallelHashJoin(left, right, leftKeys, rightKeys, residual, dop)
+	j.EmitProbeFirst = true
+	j.out = right.Schema().Concat(left.Schema())
+	return j
+}
+
+// Schema implements Operator.
+func (j *ParallelHashJoin) Schema() *schema.Schema { return j.out }
+
+// joinWorker builds this worker's hash table and probes it, charging the
+// worker context the serial HashJoin's per-row units. slots is indexed
+// by probe ordinal; each ordinal belongs to exactly one worker.
+func (j *ParallelHashJoin) joinWorker(wctx *Context, build []value.Row, probe []value.Row, probeOrds []int, slots [][]value.Row) error {
+	hint := 0
+	if j.BuildSizeHint > 0 {
+		hint = j.BuildSizeHint/clampDOP(j.DOP) + 1
+	}
+	table := make(map[string][]value.Row, hint)
+	for _, r := range build {
+		wctx.Counter.CPUTuples++
+		k := r.Key(j.LeftKeys)
+		table[k] = append(table[k], r)
+	}
+	for i, r := range probe {
+		wctx.Counter.CPUTuples++
+		bucket := table[r.Key(j.RightKeys)]
+		var matches []value.Row
+		for _, l := range bucket {
+			wctx.Counter.CPUTuples++
+			var joined value.Row
+			if j.EmitProbeFirst {
+				joined = r.Concat(l)
+			} else {
+				joined = l.Concat(r)
+			}
+			if j.Residual != nil {
+				keep, err := expr.EvalBool(j.Residual, joined)
+				if err != nil {
+					return err
+				}
+				if !keep {
+					continue
+				}
+			}
+			matches = append(matches, joined)
+		}
+		slots[probeOrds[i]] = matches
+	}
+	return nil
+}
+
+// Open implements Operator: drain both children in the calling context,
+// co-partition on the join keys, fan out, absorb worker counters, and
+// assemble the output in probe order.
+func (j *ParallelHashJoin) Open(ctx *Context) error {
+	j.results = nil
+	j.pos = 0
+	buildRows, err := Drain(ctx, j.Left)
+	if err != nil {
+		return err
+	}
+	probeRows, err := Drain(ctx, j.Right)
+	if err != nil {
+		return err
+	}
+	dop := clampDOP(j.DOP)
+	buildParts := partitionRows(buildRows, j.LeftKeys, dop)
+	probeParts := make([][]value.Row, dop)
+	probeOrds := make([][]int, dop)
+	for ord, r := range probeRows {
+		w := partitionOf(r, j.RightKeys, dop)
+		probeParts[w] = append(probeParts[w], r)
+		probeOrds[w] = append(probeOrds[w], ord)
+	}
+	slots := make([][]value.Row, len(probeRows))
+	wctxs := make([]*Context, dop)
+	errs := make([]error, dop)
+	var wg sync.WaitGroup
+	for w := 0; w < dop; w++ {
+		if len(probeParts[w]) == 0 && len(buildParts[w]) == 0 {
+			continue
+		}
+		wctxs[w] = NewWorkerContext()
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = j.joinWorker(wctxs[w], buildParts[w], probeParts[w], probeOrds[w], slots)
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < dop; w++ {
+		if wctxs[w] != nil {
+			ctx.Absorb(wctxs[w])
+		}
+		err = errors.Join(err, errs[w])
+	}
+	if err != nil {
+		return err
+	}
+	n := 0
+	for _, s := range slots {
+		n += len(s)
+	}
+	j.results = make([]value.Row, 0, n)
+	for _, s := range slots {
+		j.results = append(j.results, s...)
+	}
+	return nil
+}
+
+// Next implements Operator. All join work was charged by the workers in
+// Open; emitting the assembled rows is coordination and charges nothing.
+func (j *ParallelHashJoin) Next(*Context) (value.Row, bool, error) {
+	if j.pos >= len(j.results) {
+		return nil, false, nil
+	}
+	r := j.results[j.pos]
+	j.pos++
+	return r, true, nil
+}
+
+// Close implements Operator.
+func (j *ParallelHashJoin) Close(*Context) error {
+	j.results = nil
+	return nil
+}

@@ -109,6 +109,7 @@ var Registry = []Entry{
 	{"E13", "Ablation: Limitation 2 vs prefix production sets", E13PrefixProduction},
 	{"E14", "Multiple views in one query (§2.1 interaction)", E14MultiView},
 	{"E15", "Interesting orders: property memo and sort elision", E15SortElision},
+	{"E16", "Intra-query parallelism: wall-clock vs cost parity across DOP", E16ParallelExecution},
 }
 
 // ByID finds an experiment by its id (case-insensitive).

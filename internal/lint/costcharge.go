@@ -19,8 +19,17 @@ import (
 // Detection is per type: the bodies of Open and Next, plus any methods
 // of the same type they (transitively) call, are scanned. "Row work"
 // is a for/range loop or a call into sort/heap; "charging" is any
-// reference to the Counter field of exec.Context. Pure pass-through
+// reference to the Counter field of exec.Context, or a call to
+// Context.Absorb — the exchange operators' way of folding a worker
+// goroutine's private counter into the parent ledger. Pure pass-through
 // operators (no loops) are exempt.
+//
+// Goroutine-spawning operators get one extra obligation: a type whose
+// reachable Open/Next methods contain a `go` statement must also reach
+// a Context.Absorb call, so the workers' counters are merged into the
+// parent before the operator returns — otherwise the cost their private
+// counters accumulated evaporates with the goroutines and conservation
+// breaks silently.
 var Costcharge = &analysis.Analyzer{
 	Name: "costcharge",
 	Doc:  "require Operator Open/Next methods that do row work to charge ctx.Counter",
@@ -85,17 +94,19 @@ func runCostcharge(pass *analysis.Pass) error {
 		add("Open")
 		add("Next")
 
-		var workPos *ast.FuncDecl
+		var workPos, goPos *ast.FuncDecl
 		charges := false
+		absorbs := false
 		for _, fd := range work {
-			if charges {
-				break
-			}
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
 				switch x := n.(type) {
 				case *ast.ForStmt, *ast.RangeStmt:
 					if workPos == nil {
 						workPos = fd
+					}
+				case *ast.GoStmt:
+					if goPos == nil {
+						goPos = fd
 					}
 				case *ast.CallExpr:
 					if isPkgCall(pass, x, "sort") || isPkgCall(pass, x, "heap") {
@@ -103,10 +114,13 @@ func runCostcharge(pass *analysis.Pass) error {
 							workPos = fd
 						}
 					}
+					if isAbsorbCall(pass, x) {
+						charges = true
+						absorbs = true
+					}
 				case *ast.SelectorExpr:
 					if isCounterField(pass, x) {
 						charges = true
-						return false
 					}
 				}
 				return true
@@ -115,6 +129,10 @@ func runCostcharge(pass *analysis.Pass) error {
 		if workPos != nil && !charges {
 			pass.Reportf(workPos.Name.Pos(), "%s.%s does row work but no method of %s reachable from Open/Next charges ctx.Counter; Table 1 cost conservation breaks for plans containing it",
 				tn.Name(), workPos.Name.Name, tn.Name())
+		}
+		if goPos != nil && !absorbs {
+			pass.Reportf(goPos.Name.Pos(), "%s.%s spawns goroutines but no method of %s reachable from Open/Next merges worker counters via ctx.Absorb; cost charged on worker contexts is lost",
+				tn.Name(), goPos.Name.Name, tn.Name())
 		}
 	}
 	return nil
@@ -174,6 +192,25 @@ func isPkgCall(pass *analysis.Pass, call *ast.CallExpr, pkgName string) bool {
 	}
 	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
 	return ok && pn.Imported().Name() == pkgName
+}
+
+// isAbsorbCall reports whether call invokes exec.Context.Absorb, the
+// merge of a worker goroutine's private counter into the parent ledger.
+func isAbsorbCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Absorb" {
+		return false
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	recv := s.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && named.Obj().Name() == "Context" && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == execPkgPath
 }
 
 // isCounterField reports whether sel selects the Counter field of

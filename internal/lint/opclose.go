@@ -109,11 +109,19 @@ func allBlank(exprs []ast.Expr) bool {
 func (oc *opcloseCheck) localPairing() {
 	for _, file := range oc.pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
-			fd, ok := n.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				return true
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					oc.checkFunc(fn.Body)
+				}
+			case *ast.FuncLit:
+				// Closure bodies — goroutine-spawning operators run worker
+				// pipelines inside `go func() { ... }()` — are functions in
+				// their own right: an Open inside one must be balanced by a
+				// Close inside the same closure, because nothing outside it
+				// can see the worker's operator once the goroutine exits.
+				oc.checkFunc(fn.Body)
 			}
-			oc.checkFunc(fd.Body)
 			return true
 		})
 	}

@@ -103,3 +103,33 @@ func suppressed(ctx *exec.Context, op exec.Operator) {
 	//lint:ignore opclose fixture asserts the directive reaches the next line
 	op.Close(ctx)
 }
+
+// goWorkerClean runs a worker pipeline inside a goroutine closure; the
+// operator opened inside the closure is closed on every path of the
+// closure, which is what the analyzer now checks inside FuncLit bodies.
+func goWorkerClean(mk func() exec.Operator) error {
+	done := make(chan error, 1)
+	go func() {
+		op := mk()
+		w := exec.NewWorkerContext()
+		if err := op.Open(w); err != nil {
+			done <- err
+			return
+		}
+		done <- op.Close(w)
+	}()
+	return <-done
+}
+
+// goWorkerLeak opens an operator inside a goroutine and abandons it:
+// nothing outside the closure can ever close it.
+func goWorkerLeak(mk func() exec.Operator) {
+	go func() {
+		op := mk()
+		w := exec.NewWorkerContext()
+		if err := op.Open(w); err != nil { // want "op.Open is not balanced by a Close on every path"
+			return
+		}
+		_, _, _ = op.Next(w)
+	}()
+}

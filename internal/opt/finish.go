@@ -299,7 +299,12 @@ func (o *Optimizer) finishGroupBy(ctx *Ctx, prev *plan.Node) (*plan.Node, error)
 	mk := prev.Make
 	kind := "GroupBy"
 	var outOrd plan.Ordering
-	mkOp := func() exec.Operator { return exec.NewGroupBy(mk(), groupPos, aggs) }
+	hint := int(rows + 0.5) // pre-size the group table from the estimate
+	mkOp := func() exec.Operator {
+		g := exec.NewGroupBy(mk(), groupPos, aggs)
+		g.SizeHint = hint
+		return g
+	}
 	if o.orderAware() && len(groupPos) > 0 && prev.Ordering.PrefixCovers(b.GroupBy) {
 		// The join output already arrives clustered by the grouping
 		// columns, so aggregation streams one group at a time instead of

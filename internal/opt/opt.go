@@ -40,6 +40,13 @@ type Metrics struct {
 	NestedOptimizations int64 // recursive OptimizeBlock invocations
 }
 
+// Merge folds the counters collected by a forked optimizer back in.
+func (m *Metrics) Merge(other Metrics) {
+	m.PlansConsidered += other.PlansConsidered
+	m.SubsetsExplored += other.SubsetsExplored
+	m.NestedOptimizations += other.NestedOptimizations
+}
+
 // Optimizer is a reusable cost-based optimizer over a catalog.
 type Optimizer struct {
 	Cat   *catalog.Catalog
@@ -63,6 +70,13 @@ type Optimizer struct {
 	// ORDER BY always sorts — the pre-property optimizer, kept for
 	// ablation and differential testing.
 	DisableOrderProps bool
+
+	// DegreeOfParallelism is the intra-query parallelism knob. 1 (or 0)
+	// keeps every code path serial and byte-identical to the classic
+	// engine. Above 1, the optimizer emits exchange-based operators
+	// (ParallelScan, partitioned hash joins) with that worker count and
+	// fans the parametric coster's sample points out across forks.
+	DegreeOfParallelism int
 
 	Metrics Metrics
 
@@ -104,6 +118,45 @@ func (o *Optimizer) InvalidateCaches() {
 func (o *Optimizer) TempName(prefix string) string {
 	o.tempSeq++
 	return fmt.Sprintf("__%s_%d", prefix, o.tempSeq)
+}
+
+// DOP returns the effective degree of parallelism (at least 1).
+func (o *Optimizer) DOP() int {
+	if o.DegreeOfParallelism < 1 {
+		return 1
+	}
+	return o.DegreeOfParallelism
+}
+
+// Fork returns an isolated optimizer for a concurrent nested
+// optimization (one parametric-coster sample point). The fork sees a
+// cloned catalog — transient relations it registers never touch the
+// parent's — plus private Disabled/StatsOverride/metrics/temp-name
+// state seeded from the parent, so forks never contend and their
+// results are identical to a serial nested run. The fork runs serially
+// itself (DegreeOfParallelism 1) and drops the tracer: trace ordering
+// under fan-out would be nondeterministic. Callers merge the fork's
+// Metrics back in a deterministic order after the fan-in.
+func (o *Optimizer) Fork() *Optimizer {
+	f := &Optimizer{
+		Cat:               o.Cat.Clone(),
+		Model:             o.Model,
+		Disabled:          make(map[string]bool, len(o.Disabled)),
+		StatsOverride:     make(map[string]*stats.RelStats, len(o.StatsOverride)),
+		MaxRelations:      o.MaxRelations,
+		DisableOrderProps: o.DisableOrderProps,
+		extra:             o.extra,
+		viewLeafCache:     map[string]*plan.Node{},
+		depth:             o.depth,
+		tempSeq:           o.tempSeq,
+	}
+	for k, v := range o.Disabled {
+		f.Disabled[k] = v
+	}
+	for k, v := range o.StatsOverride {
+		f.StatsOverride[k] = v
+	}
+	return f
 }
 
 // OptimizeBlock optimizes a query block and returns the best physical

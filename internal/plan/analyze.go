@@ -102,6 +102,9 @@ func formatAnalyze(b *strings.Builder, n *Node, m cost.Model, byNode map[*Node]*
 	if s := DescribeOrdering(n.Ordering, n); s != "" {
 		ord = fmt.Sprintf(", order=[%s]", s)
 	}
+	if n.Parallel > 1 {
+		ord += fmt.Sprintf(", parallel=%d", n.Parallel)
+	}
 	st := byNode[n]
 	if st == nil || st.Opens == 0 {
 		fmt.Fprintf(b, "  (est rows=%.0f, act rows=-, est cost=%.2f%s, not executed)",

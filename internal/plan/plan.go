@@ -38,6 +38,10 @@ type Node struct {
 	// destroys it. The optimizer's property-aware memo keys plans by it.
 	Ordering Ordering
 
+	// Parallel is the worker count of an exchange-parallel operator
+	// (ParallelScan, partitioned hash join); 0 or 1 means serial.
+	Parallel int
+
 	Make func() exec.Operator
 
 	Extra any // method-specific annotation (e.g. Filter Join cost breakdown)
@@ -65,6 +69,9 @@ func format(b *strings.Builder, n *Node, m cost.Model, depth int) {
 	fmt.Fprintf(b, "  (rows=%.0f cost=%.2f", n.Rows, n.Total(m))
 	if s := DescribeOrdering(n.Ordering, n); s != "" {
 		fmt.Fprintf(b, " order=[%s]", s)
+	}
+	if n.Parallel > 1 {
+		fmt.Fprintf(b, " parallel=%d", n.Parallel)
 	}
 	b.WriteString(")\n")
 	for _, c := range n.Children {
