@@ -9,6 +9,7 @@
 //	filterbench -list       # list experiment ids and titles
 //	filterbench -json E15   # machine-readable reports (perf trajectory)
 //	filterbench -json -parallel   # the parallel-execution sweep (E16) only
+//	filterbench -json -chaos      # the fault-injection robustness run (E17) only
 package main
 
 import (
@@ -24,8 +25,9 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	asJSON := flag.Bool("json", false, "emit reports as a JSON array instead of text tables")
 	parallel := flag.Bool("parallel", false, "run the intra-query parallelism sweep (E16) only")
+	chaos := flag.Bool("chaos", false, "run the fault-injection robustness experiment (E17) only")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: filterbench [-list] [-json] [-parallel] [experiment ids...]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: filterbench [-list] [-json] [-parallel] [-chaos] [experiment ids...]\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -42,6 +44,10 @@ func main() {
 		e, _ := experiments.ByID("E16")
 		toRun = append(toRun, e)
 	}
+	if *chaos {
+		e, _ := experiments.ByID("E17")
+		toRun = append(toRun, e)
+	}
 	if args := flag.Args(); len(args) > 0 {
 		for _, id := range args {
 			e, ok := experiments.ByID(id)
@@ -51,7 +57,7 @@ func main() {
 			}
 			toRun = append(toRun, e)
 		}
-	} else if !*parallel {
+	} else if !*parallel && !*chaos {
 		toRun = experiments.Registry
 	}
 

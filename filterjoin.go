@@ -25,6 +25,8 @@
 package filterjoin
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -33,6 +35,7 @@ import (
 	"filterjoin/internal/catalog"
 	"filterjoin/internal/core"
 	"filterjoin/internal/cost"
+	"filterjoin/internal/dist"
 	"filterjoin/internal/exec"
 	"filterjoin/internal/opt"
 	"filterjoin/internal/plan"
@@ -62,6 +65,20 @@ type Config struct {
 	// parametric coster's sample points out across optimizer forks.
 	// Results and merged cost counters are identical at every setting.
 	DegreeOfParallelism int
+	// Chaos, when non-nil, replaces the free instant network with the
+	// seeded fault-injecting transport: remote crossings suffer message
+	// loss, latency, and transient site outages from the reproducible
+	// schedule Chaos describes, recovered by the Retry policy. Every
+	// query execution gets a fresh schedule, so a query's fault pattern
+	// depends only on (Chaos.Seed, the query) — never on what ran before
+	// it — and the default transport guarantees eventual delivery, so
+	// results stay row-identical to fault-free runs (DESIGN.md §10).
+	Chaos *dist.ChaosConfig
+	// Retry tunes the retry/timeout/backoff policy applied to every
+	// remote send when Chaos is set; zero fields take the dist defaults
+	// (4 attempts, 400ms per-attempt timeout, 10ms initial backoff,
+	// doubling per retry).
+	Retry dist.RetryPolicy
 }
 
 // DB is an in-memory database instance: a catalog plus a configured
@@ -77,6 +94,8 @@ type DB struct {
 	o     *opt.Optimizer
 	fj    *core.Method
 	model cost.Model
+	chaos *dist.ChaosConfig
+	retry dist.RetryPolicy
 }
 
 // Open creates an empty database.
@@ -93,7 +112,7 @@ func Open(cfg Config) *DB {
 	if cfg.DegreeOfParallelism > 1 {
 		o.DegreeOfParallelism = cfg.DegreeOfParallelism
 	}
-	db := &DB{cat: cat, o: o, model: model}
+	db := &DB{cat: cat, o: o, model: model, chaos: cfg.Chaos, retry: cfg.Retry}
 	if !cfg.DisableFilterJoin {
 		db.fj = core.NewMethod(cfg.FilterJoin)
 		o.Register(db.fj)
@@ -121,6 +140,18 @@ type Result struct {
 	Cost    cost.Counter // measured execution cost counters
 	Plan    *plan.Node   // the plan that produced the rows
 
+	// DegradedFrom reports graceful degradation: when the primary plan
+	// aborted mid-query with a dist.SiteError (transport retries
+	// exhausted) and a fault-free fallback had been retained, the query
+	// was re-run on the fallback. Plan then points at the fallback that
+	// produced the rows and DegradedFrom at the abandoned primary; nil
+	// on a normal run.
+	DegradedFrom *plan.Node
+	// SiteErr is the typed failure that triggered the degradation
+	// (nil on a normal run). The measured Cost includes the aborted
+	// primary's work plus one Fallbacks unit.
+	SiteErr *dist.SiteError
+
 	ops []*exec.OpStats // per-operator runtime profile, first-Open order
 }
 
@@ -137,13 +168,20 @@ func (db *DB) TotalCost(r *Result) float64 { return db.model.Total(r.Cost) }
 // Exec runs one SQL statement. DDL and INSERT return a nil *Result;
 // SELECT returns rows.
 func (db *DB) Exec(text string) (*Result, error) {
+	return db.ExecContext(context.Background(), text)
+}
+
+// ExecContext is Exec under a caller context: cancellation or deadline
+// expiry aborts execution between rows (and between transport retries)
+// with the context's error.
+func (db *DB) ExecContext(stdctx context.Context, text string) (*Result, error) {
 	st, err := sql.Parse(text)
 	if err != nil {
 		return nil, err
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.execStmt(st)
+	return db.execStmt(stdctx, st)
 }
 
 // ExecScript runs a semicolon-separated sequence of statements,
@@ -156,7 +194,7 @@ func (db *DB) ExecScript(text string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	for _, st := range sts {
-		if _, err := db.execStmt(st); err != nil {
+		if _, err := db.execStmt(context.Background(), st); err != nil {
 			return err
 		}
 	}
@@ -165,7 +203,12 @@ func (db *DB) ExecScript(text string) error {
 
 // Query runs a SELECT statement and returns its rows.
 func (db *DB) Query(text string) (*Result, error) {
-	res, err := db.Exec(text)
+	return db.QueryContext(context.Background(), text)
+}
+
+// QueryContext is Query under a caller context (see ExecContext).
+func (db *DB) QueryContext(stdctx context.Context, text string) (*Result, error) {
+	res, err := db.ExecContext(stdctx, text)
 	if err != nil {
 		return nil, err
 	}
@@ -180,10 +223,10 @@ func (db *DB) Query(text string) (*Result, error) {
 func (db *DB) ExecParsed(st sql.Statement) (*Result, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.execStmt(st)
+	return db.execStmt(context.Background(), st)
 }
 
-func (db *DB) execStmt(st sql.Statement) (*Result, error) {
+func (db *DB) execStmt(stdctx context.Context, st sql.Statement) (*Result, error) {
 	switch s := st.(type) {
 	case *sql.CreateTable:
 		cols := make([]schema.Column, len(s.Cols))
@@ -251,20 +294,20 @@ func (db *DB) execStmt(st sql.Statement) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return db.queryBlock(b)
+		return db.queryBlock(stdctx, b)
 
 	case *sql.UnionStmt:
-		return db.execUnion(s)
+		return db.execUnion(stdctx, s)
 
 	case *sql.ExplainStmt:
-		return db.execExplain(s)
+		return db.execExplain(stdctx, s)
 	}
 	return nil, fmt.Errorf("filterjoin: unsupported statement %T", st)
 }
 
 // execExplain renders the optimized plan (and, with ANALYZE, measured
 // execution costs) as a one-column result set.
-func (db *DB) execExplain(s *sql.ExplainStmt) (*Result, error) {
+func (db *DB) execExplain(stdctx context.Context, s *sql.ExplainStmt) (*Result, error) {
 	b, err := sql.BindSelect(db.cat, s.Select)
 	if err != nil {
 		return nil, err
@@ -275,11 +318,12 @@ func (db *DB) execExplain(s *sql.ExplainStmt) (*Result, error) {
 	}
 	var text string
 	if s.Analyze {
-		res, err := db.runPlan(p)
+		res, err := db.runPlan(stdctx, p)
 		if err != nil {
 			return nil, err
 		}
-		text = plan.FormatAnalyze(p, db.model, res.ops, res.Cost, plan.AnalyzeOptions{})
+		text = plan.FormatAnalyze(res.Plan, db.model, res.ops, res.Cost, plan.AnalyzeOptions{})
+		text += degradedLine(res)
 		text += fmt.Sprintf("rows: %d\n", len(res.Rows))
 	} else {
 		text = plan.Format(p, db.model)
@@ -295,7 +339,7 @@ func (db *DB) execExplain(s *sql.ExplainStmt) (*Result, error) {
 // execUnion runs each UNION arm as its own optimized block and combines
 // the results (deduplicating for plain UNION). Arms must agree on output
 // width.
-func (db *DB) execUnion(u *sql.UnionStmt) (*Result, error) {
+func (db *DB) execUnion(stdctx context.Context, u *sql.UnionStmt) (*Result, error) {
 	var out *Result
 	seen := map[string]bool{}
 	for i, sel := range u.Selects {
@@ -303,7 +347,7 @@ func (db *DB) execUnion(u *sql.UnionStmt) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("filterjoin: UNION arm %d: %w", i+1, err)
 		}
-		res, err := db.queryBlock(b)
+		res, err := db.queryBlock(stdctx, b)
 		if err != nil {
 			return nil, fmt.Errorf("filterjoin: UNION arm %d: %w", i+1, err)
 		}
@@ -349,15 +393,15 @@ func (db *DB) InvalidateCaches() {
 func (db *DB) QueryBlock(b *query.Block) (*Result, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.queryBlock(b)
+	return db.queryBlock(context.Background(), b)
 }
 
-func (db *DB) queryBlock(b *query.Block) (*Result, error) {
+func (db *DB) queryBlock(stdctx context.Context, b *query.Block) (*Result, error) {
 	p, err := db.o.OptimizeBlock(b)
 	if err != nil {
 		return nil, err
 	}
-	return db.runPlan(p)
+	return db.runPlan(stdctx, p)
 }
 
 // PlanBlock optimizes a block without executing it.
@@ -414,31 +458,77 @@ func (db *DB) ExplainAnalyzeOpts(text string, opts plan.AnalyzeOptions) (string,
 	if err != nil {
 		return "", err
 	}
-	out := plan.FormatAnalyze(p, db.model, res.ops, res.Cost, opts)
+	out := plan.FormatAnalyze(res.Plan, db.model, res.ops, res.Cost, opts)
+	out += degradedLine(res)
 	out += fmt.Sprintf("rows: %d\n", len(res.Rows))
 	return out, nil
+}
+
+// degradedLine renders the degradation banner appended to EXPLAIN
+// ANALYZE output; empty on a normal run.
+func degradedLine(res *Result) string {
+	if res.DegradedFrom == nil {
+		return ""
+	}
+	return fmt.Sprintf("degraded=plan: primary aborted (%v); rows produced by fault-free fallback above\n", res.SiteErr)
 }
 
 // RunPlan executes an already-optimized plan and collects its rows and
 // measured cost counters.
 func (db *DB) RunPlan(p *plan.Node) (*Result, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.runPlan(p)
+	return db.RunPlanContext(context.Background(), p)
 }
 
-func (db *DB) runPlan(p *plan.Node) (*Result, error) {
+// RunPlanContext is RunPlan under a caller context (see ExecContext).
+func (db *DB) RunPlanContext(stdctx context.Context, p *plan.Node) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.runPlan(stdctx, p)
+}
+
+// newExecContext builds the per-execution context: a fresh counter, the
+// caller's cancellation context, and — when chaos is configured — a
+// fresh fault-injecting transport, so every execution replays the fault
+// schedule from its start and a query's faults depend only on the seed
+// and the query itself.
+func (db *DB) newExecContext(stdctx context.Context) *exec.Context {
 	ctx := exec.NewContext()
-	op := p.Make()
-	rows, err := exec.Drain(ctx, op)
+	ctx.Caller = stdctx
+	if db.chaos != nil {
+		ctx.Net = dist.NewChaosTransport(*db.chaos, db.retry)
+	}
+	return ctx
+}
+
+func (db *DB) runPlan(stdctx context.Context, p *plan.Node) (*Result, error) {
+	ctx := db.newExecContext(stdctx)
+	rows, err := exec.Drain(ctx, p.Make())
+	executed := p
+	var degradedFrom *plan.Node
+	var siteErr *dist.SiteError
 	if err != nil {
-		return nil, err
+		var se *dist.SiteError
+		if !errors.As(err, &se) || p.Fallback == nil {
+			return nil, err
+		}
+		// Graceful degradation: a remote strategy exhausted its retry
+		// budget mid-query. Restart on the retained fault-free fallback
+		// in the SAME execution context, so the aborted primary's work
+		// stays on the bill (cost conservation holds across the switch)
+		// and the observability layer shows the full price of the fault.
+		ctx.Counter.Fallbacks++
+		degradedFrom, siteErr, executed = p, se, p.Fallback
+		rows, err = exec.Drain(ctx, executed.Make())
+		if err != nil {
+			return nil, err
+		}
 	}
-	cols := make([]string, p.OutSchema.Len())
+	cols := make([]string, executed.OutSchema.Len())
 	for i := range cols {
-		cols[i] = p.OutSchema.Col(i).QualifiedName()
+		cols[i] = executed.OutSchema.Col(i).QualifiedName()
 	}
-	return &Result{Columns: cols, Rows: rows, Cost: *ctx.Counter, Plan: p, ops: ctx.OperatorStats()}, nil
+	return &Result{Columns: cols, Rows: rows, Cost: *ctx.Counter, Plan: executed,
+		DegradedFrom: degradedFrom, SiteErr: siteErr, ops: ctx.OperatorStats()}, nil
 }
 
 // LoadCSV bulk-loads CSV data into a stored table (an optional header

@@ -7,6 +7,7 @@ import (
 	"filterjoin/internal/core"
 	"filterjoin/internal/cost"
 	"filterjoin/internal/datagen"
+	"filterjoin/internal/dist"
 	"filterjoin/internal/exec"
 	"filterjoin/internal/opt"
 	"filterjoin/internal/query"
@@ -18,10 +19,24 @@ import (
 // deltas must sum to the execution context's root counter — across join
 // methods, re-opened inners, Filter Joins with deferred sub-planning,
 // remote shipping, and function probes.
-func checkConservation(t *testing.T, name string, cat *catalog.Catalog, b *query.Block, model cost.Model, fjOpts *core.Options, dop int) {
+// conservationOpts tunes one conservation run beyond the base knobs:
+// join methods to disable (to force a particular strategy, e.g.
+// FetchMatches) and a transport factory (to run the plan over the
+// fault-injecting network — conservation must hold on faulty runs too,
+// with retries and backoff waits attributed to the operator that sent).
+type conservationOpts struct {
+	disabled []string
+	net      func() exec.Transport
+	require  string // plan node kind that must be present, "" for any
+}
+
+func checkConservation(t *testing.T, name string, cat *catalog.Catalog, b *query.Block, model cost.Model, fjOpts *core.Options, dop int, co conservationOpts) {
 	t.Helper()
 	o := opt.New(cat, model)
 	o.DegreeOfParallelism = dop
+	for _, m := range co.disabled {
+		o.Disabled[m] = true
+	}
 	if fjOpts != nil {
 		o.Register(core.NewMethod(*fjOpts))
 	}
@@ -29,9 +44,18 @@ func checkConservation(t *testing.T, name string, cat *catalog.Catalog, b *query
 	if err != nil {
 		t.Fatalf("%s: optimize: %v", name, err)
 	}
+	if co.require != "" && p.Find(co.require) == nil {
+		t.Fatalf("%s: plan does not contain required %s node", name, co.require)
+	}
 	ctx := exec.NewContext()
+	if co.net != nil {
+		ctx.Net = co.net()
+	}
 	if _, err := exec.Drain(ctx, p.Make()); err != nil {
 		t.Fatalf("%s: execute: %v", name, err)
+	}
+	if co.net != nil && ctx.Counter.Retries == 0 {
+		t.Fatalf("%s: chaos run injected no retries; the workload is not exercising the transport", name)
 	}
 	ops := ctx.OperatorStats()
 	if len(ops) == 0 {
@@ -44,7 +68,8 @@ func checkConservation(t *testing.T, name string, cat *catalog.Catalog, b *query
 		// Attribution must never go negative: an operator whose Self
 		// delta dips below zero is double-charging its parent.
 		if self.PageReads < 0 || self.PageWrites < 0 || self.CPUTuples < 0 ||
-			self.NetBytes < 0 || self.NetMsgs < 0 || self.FnCalls < 0 {
+			self.NetBytes < 0 || self.NetMsgs < 0 || self.FnCalls < 0 ||
+			self.Retries < 0 || self.WaitMs < 0 || self.Fallbacks < 0 {
 			t.Errorf("%s: operator %s charged negative Self %s", name, s.Label, self.String())
 		}
 		sum.Add(self)
@@ -94,17 +119,46 @@ func TestCostAttributionConservation(t *testing.T) {
 		"fj-all":   {Bloom: true, AttrSubsets: true, IncludeStored: true, PrefixProductionSets: true},
 	}
 
+	// chaos runs the same plans over the fault-injecting transport: the
+	// schedule below forces drops, timeouts, and outages, all recovered
+	// by retry, and all attributed to the operator whose send retried.
+	// The drop rate is aggressive so even one-message workloads (a
+	// single view shipment) deterministically hit at least one retry;
+	// the eventual-delivery cap still guarantees recovery.
+	chaos := func() exec.Transport {
+		return dist.NewChaosTransport(
+			dist.ChaosConfig{Seed: 11, DropRate: 0.9, MaxLatencyMs: 30, OutageEvery: 4, OutageLen: 1},
+			dist.RetryPolicy{MaxAttempts: 6, TimeoutMs: 20, BackoffMs: 2},
+		)
+	}
+
 	type workload struct {
 		name  string
 		cat   *catalog.Catalog
 		block func() *query.Block
 		model cost.Model
+		co    conservationOpts
 	}
 	workloads := []workload{
-		{"fig1", fig1, datagen.Fig1Query, base},
-		{"dist-view", distCat, datagen.DistQuery, netHeavy},
-		{"dist-base", distCat, datagen.DistBaseQuery, netHeavy},
-		{"udr", udrCat, datagen.UDRQuery, base},
+		{"fig1", fig1, datagen.Fig1Query, base, conservationOpts{}},
+		{"dist-view", distCat, datagen.DistQuery, netHeavy, conservationOpts{}},
+		// The whole-stream shipment must appear in the plan tree itself
+		// (not buried in a Filter Join's deferred sub-plan) so the Ship
+		// operator is directly under the instrumentation shim.
+		{"dist-ship", distCat, datagen.DistBaseQuery, netHeavy,
+			conservationOpts{disabled: []string{"filterjoin", "fetchmatches"}, require: "ShipScan"}},
+		{"dist-base", distCat, datagen.DistBaseQuery, netHeavy, conservationOpts{}},
+		{"udr", udrCat, datagen.UDRQuery, base, conservationOpts{}},
+		// Force the per-row remote strategy so the FetchMatches operator
+		// itself is under the instrumentation shim.
+		{"dist-fetchmatches", distCat, datagen.DistBaseQuery, netHeavy,
+			conservationOpts{disabled: []string{"hash", "merge", "nlj", "indexnl", "filterjoin"}, require: "FetchMatches"}},
+		{"dist-view/chaos", distCat, datagen.DistQuery, netHeavy,
+			conservationOpts{net: chaos}},
+		{"dist-ship/chaos", distCat, datagen.DistBaseQuery, netHeavy,
+			conservationOpts{disabled: []string{"filterjoin", "fetchmatches"}, net: chaos, require: "ShipScan"}},
+		{"dist-fetchmatches/chaos", distCat, datagen.DistBaseQuery, netHeavy,
+			conservationOpts{disabled: []string{"hash", "merge", "nlj", "indexnl", "filterjoin"}, net: chaos, require: "FetchMatches"}},
 	}
 	for _, w := range workloads {
 		for cfgName, fjOpts := range fjConfigs {
@@ -118,7 +172,7 @@ func TestCostAttributionConservation(t *testing.T) {
 				}
 				fjOpts, w := fjOpts, w
 				t.Run(name, func(t *testing.T) {
-					checkConservation(t, name, w.cat, w.block(), w.model, fjOpts, dop)
+					checkConservation(t, name, w.cat, w.block(), w.model, fjOpts, dop, w.co)
 				})
 			}
 		}

@@ -141,10 +141,11 @@ func (f *filterJoinOp) buildRestricted(ctx *exec.Context, keys *exec.KeySet) (ex
 			return nil, err
 		}
 		if s.entry.Kind == catalog.KindRemote {
-			// Ship F over, ship R_k' back.
-			ctx.Counter.NetMsgs++
-			ctx.Counter.NetBytes += int64(ch.filterShipBytes(keys, s))
-			op = dist.NewShip(op, s.entry.Table.Schema().RowWidth())
+			// Ship F over (the fallible keyset message), ship R_k' back.
+			if err := dist.Send(ctx, s.entry.Site, int64(ch.filterShipBytes(keys, s))); err != nil {
+				return nil, err
+			}
+			op = dist.NewShip(op, s.entry.Table.Schema().RowWidth(), s.entry.Site)
 		}
 		return op, nil
 
@@ -249,13 +250,14 @@ func (f *filterJoinOp) restrictView(ctx *exec.Context, keys *exec.KeySet) (exec.
 	}
 	var op exec.Operator = node.Make()
 	if s.entry.Site > 0 {
-		ctx.Counter.NetMsgs++
-		ctx.Counter.NetBytes += int64(s.choice.filterShipBytes(keys, s))
+		if err := dist.Send(ctx, s.entry.Site, int64(s.choice.filterShipBytes(keys, s))); err != nil {
+			return nil, err
+		}
 		vs, err := s.entry.Schema(o.Cat)
 		if err != nil {
 			return nil, err
 		}
-		op = dist.NewShip(op, vs.RowWidth())
+		op = dist.NewShip(op, vs.RowWidth(), s.entry.Site)
 	}
 	if s.localPred != nil {
 		op = exec.NewSelect(op, s.localPred)

@@ -20,6 +20,15 @@ type Counter struct {
 	NetBytes   int64 // bytes shipped between sites
 	NetMsgs    int64 // network messages (round-trip initiations)
 	FnCalls    int64 // user-defined relation function invocations
+
+	// Fault-tolerance accounting (DESIGN.md §10). These are observability
+	// counters for faulty runs: the optimizer never estimates them and the
+	// Model carries no weights for them, because the paper's cost formulas
+	// assume a fault-free network. Fault-free executions leave them zero,
+	// which keeps every estimate-vs-actual comparison unchanged.
+	Retries   int64 // remote send attempts beyond the first (per message)
+	WaitMs    int64 // simulated milliseconds spent on latency, timeouts, and backoff
+	Fallbacks int64 // queries degraded to the fault-free fallback plan
 }
 
 // Add accumulates o into c.
@@ -30,6 +39,9 @@ func (c *Counter) Add(o Counter) {
 	c.NetBytes += o.NetBytes
 	c.NetMsgs += o.NetMsgs
 	c.FnCalls += o.FnCalls
+	c.Retries += o.Retries
+	c.WaitMs += o.WaitMs
+	c.Fallbacks += o.Fallbacks
 }
 
 // Diff returns c - o, the consumption that happened after snapshot o.
@@ -41,6 +53,9 @@ func (c Counter) Diff(o Counter) Counter {
 		NetBytes:   c.NetBytes - o.NetBytes,
 		NetMsgs:    c.NetMsgs - o.NetMsgs,
 		FnCalls:    c.FnCalls - o.FnCalls,
+		Retries:    c.Retries - o.Retries,
+		WaitMs:     c.WaitMs - o.WaitMs,
+		Fallbacks:  c.Fallbacks - o.Fallbacks,
 	}
 }
 
@@ -61,6 +76,9 @@ func (c Counter) String() string {
 	add("netB", c.NetBytes)
 	add("netM", c.NetMsgs)
 	add("fn", c.FnCalls)
+	add("retry", c.Retries)
+	add("wait", c.WaitMs)
+	add("fb", c.Fallbacks)
 	if len(parts) == 0 {
 		return "{}"
 	}

@@ -7,6 +7,8 @@
 package dist
 
 import (
+	"errors"
+
 	"filterjoin/internal/exec"
 	"filterjoin/internal/expr"
 	"filterjoin/internal/schema"
@@ -20,23 +22,37 @@ import (
 type Ship struct {
 	Child    Operator
 	RowBytes int
+	Site     int // the remote site the stream crosses from
 }
 
 // Operator aliases exec.Operator for readability within this package.
 type Operator = exec.Operator
 
-// NewShip wraps child in a network shipment of rowBytes per row.
-func NewShip(child Operator, rowBytes int) *Ship {
-	return &Ship{Child: child, RowBytes: rowBytes}
+// NewShip wraps child in a network shipment of rowBytes per row from
+// the given site.
+func NewShip(child Operator, rowBytes, site int) *Ship {
+	return &Ship{Child: child, RowBytes: rowBytes, Site: site}
 }
 
 // Schema implements exec.Operator.
 func (s *Ship) Schema() *schema.Schema { return s.Child.Schema() }
 
 // Open implements exec.Operator.
+//
+// The stream-open message is charged only after the child opens: a
+// failed child open consumed no network, and charging first would leave
+// a phantom NetMsg that breaks cost conservation on error paths. When
+// the message itself fails (chaos transport out of retries), the child
+// is closed again before the error propagates, because callers do not
+// Close an operator whose Open failed.
 func (s *Ship) Open(ctx *exec.Context) error {
-	ctx.Counter.NetMsgs++
-	return s.Child.Open(ctx)
+	if err := s.Child.Open(ctx); err != nil {
+		return err
+	}
+	if err := Send(ctx, s.Site, 0); err != nil {
+		return errors.Join(err, s.Child.Close(ctx))
+	}
+	return nil
 }
 
 // Next implements exec.Operator.
@@ -65,6 +81,7 @@ type FetchMatchesJoin struct {
 	OuterKeyIdx []int
 	Residual    expr.Expr // bound against Outer.Schema()‖inner schema
 	InnerAlias  string
+	Site        int // the remote site holding Table
 
 	innerSch *schema.Schema
 	out      *schema.Schema
@@ -76,8 +93,9 @@ type FetchMatchesJoin struct {
 	done     bool
 }
 
-// NewFetchMatchesJoin builds the remote repeated-probe join.
-func NewFetchMatchesJoin(outer Operator, t *storage.Table, ix *storage.HashIndex, outerKeyIdx []int, residual expr.Expr, innerAlias string) *FetchMatchesJoin {
+// NewFetchMatchesJoin builds the remote repeated-probe join against the
+// table at the given site.
+func NewFetchMatchesJoin(outer Operator, t *storage.Table, ix *storage.HashIndex, outerKeyIdx []int, residual expr.Expr, innerAlias string, site int) *FetchMatchesJoin {
 	is := t.Schema()
 	if innerAlias != "" {
 		is = is.Rename(innerAlias)
@@ -93,6 +111,7 @@ func NewFetchMatchesJoin(outer Operator, t *storage.Table, ix *storage.HashIndex
 		OuterKeyIdx: outerKeyIdx,
 		Residual:    residual,
 		InnerAlias:  innerAlias,
+		Site:        site,
 		innerSch:    is,
 		out:         outer.Schema().Concat(is),
 		keyBytes:    keyBytes,
@@ -128,9 +147,12 @@ func (j *FetchMatchesJoin) Next(ctx *exec.Context) (value.Row, bool, error) {
 				return nil, false, nil
 			}
 			j.cur = r
-			// One round trip: key goes out, matches come back.
-			ctx.Counter.NetMsgs++
-			ctx.Counter.NetBytes += int64(j.keyBytes)
+			// One round trip: key goes out, matches come back. The key
+			// message is the fallible crossing; the response charges
+			// below once the probe resolves.
+			if err := Send(ctx, j.Site, int64(j.keyBytes)); err != nil {
+				return nil, false, err
+			}
 			ctx.Counter.PageReads++ // remote index probe
 			j.ids = j.Index.LookupRow(r, j.OuterKeyIdx)
 			ctx.Counter.PageReads += int64(storage.ProbePages(j.ids, j.Table.RowsPerPage()))
@@ -158,5 +180,15 @@ func (j *FetchMatchesJoin) Next(ctx *exec.Context) (value.Row, bool, error) {
 	}
 }
 
-// Close implements exec.Operator.
-func (j *FetchMatchesJoin) Close(ctx *exec.Context) error { return j.Outer.Close(ctx) }
+// Close implements exec.Operator. It clears the match cursor so a
+// Close→reOpen cycle — e.g. after a mid-stream residual-eval error —
+// cannot replay stale match state from the aborted run; Open performs
+// the same reset, but an operator must also be safe to inspect or
+// re-wrap between Close and the next Open.
+func (j *FetchMatchesJoin) Close(ctx *exec.Context) error {
+	j.cur = nil
+	j.ids = nil
+	j.pos = 0
+	j.done = false
+	return j.Outer.Close(ctx)
+}

@@ -15,6 +15,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -24,11 +25,30 @@ import (
 	"filterjoin/internal/value"
 )
 
+// Transport delivers one network message to a remote site, charging the
+// crossing to ctx.Counter. It is declared here (rather than in dist,
+// which implements it) so the Context can carry one without exec
+// depending on the distributed substrate. A failed delivery — after
+// whatever retry policy the implementation applies — comes back as a
+// typed error the operator tree propagates unchanged, so the facade can
+// recognize it and degrade to a fault-free plan.
+type Transport interface {
+	Send(ctx *Context, site int, bytes int64) error
+}
+
 // Context carries per-execution state: the cost counter every operator
 // charges, and the instrumentation registry maintained by Instrumented
 // shims.
 type Context struct {
 	Counter *cost.Counter
+
+	// Net is the transport remote crossings route through. nil means the
+	// free, instant, lossless network every local-only execution uses.
+	Net Transport
+
+	// Caller is the caller's cancellation context, if any. Operators and
+	// drain loops poll Err to abandon work after cancellation or deadline.
+	Caller context.Context
 
 	// ops collects the stats block of every Instrumented shim that ran
 	// under this context, in first-Open order.
@@ -41,6 +61,16 @@ type Context struct {
 // NewContext returns a context with a fresh counter.
 func NewContext() *Context {
 	return &Context{Counter: &cost.Counter{}}
+}
+
+// Err reports why execution should stop: the caller context's
+// cancellation or deadline error, or nil when no caller context is
+// attached or it is still live.
+func (ctx *Context) Err() error {
+	if ctx.Caller == nil {
+		return nil
+	}
+	return ctx.Caller.Err()
 }
 
 // OperatorStats returns the per-operator runtime statistics collected
@@ -67,6 +97,9 @@ func Drain(ctx *Context, op Operator) ([]value.Row, error) {
 	}
 	var rows []value.Row
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, errors.Join(err, op.Close(ctx))
+		}
 		r, ok, err := op.Next(ctx)
 		if err != nil {
 			return nil, errors.Join(err, op.Close(ctx))
@@ -89,6 +122,9 @@ func Count(ctx *Context, op Operator) (int, error) {
 	}
 	n := 0
 	for {
+		if err := ctx.Err(); err != nil {
+			return 0, errors.Join(err, op.Close(ctx))
+		}
 		_, ok, err := op.Next(ctx)
 		if err != nil {
 			return 0, errors.Join(err, op.Close(ctx))

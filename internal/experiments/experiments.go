@@ -110,6 +110,7 @@ var Registry = []Entry{
 	{"E14", "Multiple views in one query (§2.1 interaction)", E14MultiView},
 	{"E15", "Interesting orders: property memo and sort elision", E15SortElision},
 	{"E16", "Intra-query parallelism: wall-clock vs cost parity across DOP", E16ParallelExecution},
+	{"E17", "Fault-injected transport: retry recovery and graceful degradation", E17Robustness},
 }
 
 // ByID finds an experiment by its id (case-insensitive).

@@ -1,4 +1,4 @@
-// Package lint hosts optlint, the repo's static-analysis suite. Five
+// Package lint hosts optlint, the repo's static-analysis suite. Six
 // analyzers encode contracts the paper's cost-based argument depends
 // on; each maps to a runtime invariant that was previously enforced
 // only by property tests (see DESIGN.md "Static analysis"):
@@ -15,6 +15,9 @@
 //     every expression form or carry a default.
 //   - floatcmp:   cost dominance comparisons go through the epsilon
 //     helpers in internal/cost, never raw float operators.
+//   - sitefault:  transport Send errors are never discarded, so a
+//     *dist.SiteError always propagates to the facade's
+//     graceful-degradation handler.
 //
 // A finding is suppressed by a "//lint:ignore <analyzer> <reason>"
 // comment on the flagged line or the line directly above it.
@@ -39,6 +42,7 @@ func All() []*analysis.Analyzer {
 		Orderprop,
 		Exhaustive,
 		Floatcmp,
+		Sitefault,
 	}
 }
 

@@ -17,6 +17,7 @@ func TestCostcharge(t *testing.T) { analysistest.Run(t, lint.Costcharge, "costch
 func TestOrderprop(t *testing.T)  { analysistest.Run(t, lint.Orderprop, "orderprop") }
 func TestExhaustive(t *testing.T) { analysistest.Run(t, lint.Exhaustive, "exhaustive") }
 func TestFloatcmp(t *testing.T)   { analysistest.Run(t, lint.Floatcmp, "floatcmp") }
+func TestSitefault(t *testing.T)  { analysistest.Run(t, lint.Sitefault, "sitefault") }
 
 // TestRealTreeClean is the suite's anchor: the shipped tree must be
 // violation-free, so any regression an analyzer can see fails `go test`

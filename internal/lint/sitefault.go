@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"filterjoin/internal/lint/analysis"
+)
+
+// Sitefault guards the graceful-degradation contract of the transport
+// layer: every network crossing goes through dist.Send (or a
+// dist.Net / exec.Transport Send call), and the error those calls
+// return is the only way a *dist.SiteError reaches the facade, where it
+// triggers the fallback to the optimizer's best fault-free plan. A call
+// site that discards that error — a bare expression statement, an
+// assignment to blank, or a go/defer call — turns an unreachable site
+// into silently missing rows, which is exactly the class of wrong
+// answer the fault-injection suite exists to rule out.
+var Sitefault = &analysis.Analyzer{
+	Name: "sitefault",
+	Doc:  "flag transport Send calls whose error is discarded; *dist.SiteError must propagate for degradation",
+	Run:  runSitefault,
+}
+
+// sitefaultPackages are the packages in which the rule is enforced:
+// everywhere an operator or the facade can touch the transport.
+var sitefaultPackages = map[string]bool{
+	"filterjoin":               true,
+	"filterjoin/internal/core": true,
+	"filterjoin/internal/dist": true,
+	"filterjoin/internal/exec": true,
+	"filterjoin/internal/opt":  true,
+}
+
+func runSitefault(pass *analysis.Pass) error {
+	if !enforcedPackage(pass.Pkg.Path(), sitefaultPackages) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok && isTransportSend(pass, call) {
+					pass.Reportf(call.Pos(), "transport Send error discarded; propagate it so a *dist.SiteError can trigger degradation")
+				}
+			case *ast.AssignStmt:
+				// Send returns exactly one value, so a discarded error is a
+				// single-call assignment whose targets are all blank.
+				if len(st.Rhs) != 1 {
+					return true
+				}
+				call, ok := st.Rhs[0].(*ast.CallExpr)
+				if !ok || !isTransportSend(pass, call) {
+					return true
+				}
+				for _, lhs := range st.Lhs {
+					if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+						return true
+					}
+				}
+				pass.Reportf(call.Pos(), "transport Send error assigned to blank; propagate it so a *dist.SiteError can trigger degradation")
+			case *ast.GoStmt:
+				if isTransportSend(pass, st.Call) {
+					pass.Reportf(st.Call.Pos(), "transport Send started as a goroutine discards its error; propagate it so a *dist.SiteError can trigger degradation")
+				}
+			case *ast.DeferStmt:
+				if isTransportSend(pass, st.Call) {
+					pass.Reportf(st.Call.Pos(), "deferred transport Send discards its error; propagate it so a *dist.SiteError can trigger degradation")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isTransportSend reports whether the call resolves to one of the
+// transport entry points: the package function dist.Send, the concrete
+// (*dist.Net).Send, or the exec.Transport interface method Send.
+func isTransportSend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fun.Sel]
+	default:
+		return false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Name() != "Send" || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "filterjoin/internal/dist":
+		return true // dist.Send and (*dist.Net).Send
+	case "filterjoin/internal/exec":
+		// Only the Transport interface method, not any other Send that
+		// might appear in exec later.
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return false
+		}
+		_, isIface := sig.Recv().Type().Underlying().(*types.Interface)
+		return isIface
+	}
+	return false
+}

@@ -1,0 +1,64 @@
+// Package sitefault exercises the sitefault analyzer: errors from the
+// transport entry points must propagate so a *dist.SiteError can reach
+// the facade's degradation handler.
+package sitefault
+
+import (
+	"filterjoin/internal/dist"
+	"filterjoin/internal/exec"
+)
+
+// dropPackageSend fires and forgets the package-level helper.
+func dropPackageSend(ctx *exec.Context) {
+	dist.Send(ctx, 1, 64) // want "transport Send error discarded"
+}
+
+// dropBlankAssign hides the error behind a blank assignment.
+func dropBlankAssign(ctx *exec.Context, n *dist.Net) {
+	_ = n.Send(ctx, 1, 64) // want "transport Send error assigned to blank"
+}
+
+// dropInterfaceSend discards the error through the interface.
+func dropInterfaceSend(ctx *exec.Context) {
+	ctx.Net.Send(ctx, 2, 8) // want "transport Send error discarded"
+}
+
+// dropGoroutine loses the error with the goroutine.
+func dropGoroutine(ctx *exec.Context) {
+	go dist.Send(ctx, 1, 0) // want "transport Send started as a goroutine discards its error"
+}
+
+// dropDeferred loses the error when the frame unwinds.
+func dropDeferred(ctx *exec.Context) {
+	defer dist.Send(ctx, 1, 0) // want "deferred transport Send discards its error"
+}
+
+// propagated is the required idiom: the error flows to the caller.
+func propagated(ctx *exec.Context, site int) error {
+	if err := dist.Send(ctx, site, 32); err != nil {
+		return err
+	}
+	return ctx.Net.Send(ctx, site, 32)
+}
+
+// captured keeps the error in a variable for later handling: clean.
+func captured(ctx *exec.Context) error {
+	err := dist.Send(ctx, 3, 16)
+	return err
+}
+
+// otherSend is a same-named method on an unrelated type: exempt.
+type otherSend struct{}
+
+func (otherSend) Send(ctx *exec.Context, site int, bytes int64) error { return nil }
+
+func unrelated(ctx *exec.Context) {
+	var o otherSend
+	o.Send(ctx, 1, 1)
+}
+
+// suppressed documents a deliberate fire-and-forget.
+func suppressed(ctx *exec.Context) {
+	//lint:ignore sitefault fixture: best-effort advisory message
+	dist.Send(ctx, 9, 0)
+}

@@ -273,8 +273,9 @@ func (o *Optimizer) buildStoredLeaf(ctx *Ctx, ri *RelInfo) {
 		est.NetBytes += ri.FilteredRows * float64(rowBytes)
 		est.CPUTuples += ri.FilteredRows // Ship charges per shipped row
 		inner := mk
-		mk = func() exec.Operator { return dist.NewShip(inner(), rowBytes) }
-		detail += fmt.Sprintf(" @site%d", ri.Entry.Site)
+		site := ri.Entry.Site
+		mk = func() exec.Operator { return dist.NewShip(inner(), rowBytes, site) }
+		detail += fmt.Sprintf(" @site%d", site)
 	}
 	if localLocal != nil {
 		detail += " σ(" + localLocal.String() + ")"
@@ -429,8 +430,9 @@ func (o *Optimizer) buildViewLeaf(ctx *Ctx, ri *RelInfo) error {
 		est.NetBytes += ri.FilteredRows * float64(rowBytes)
 		est.CPUTuples += ri.FilteredRows
 		inner := mk
-		mk = func() exec.Operator { return dist.NewShip(inner(), rowBytes) }
-		detail += fmt.Sprintf(" @site%d", ri.Entry.Site)
+		site := ri.Entry.Site
+		mk = func() exec.Operator { return dist.NewShip(inner(), rowBytes, site) }
+		detail += fmt.Sprintf(" @site%d", site)
 	}
 	ri.Access = plan.NewNode(&plan.Node{
 		Kind:      "ViewScan",

@@ -249,7 +249,12 @@ func (o *Optimizer) OptimizeBlockWithOrder(b *query.Block, order []int) (*plan.N
 		}
 		cur, subset = next, ns
 	}
-	return o.finishBest(ctx, cur)
+	p, err := o.finishBest(ctx, cur)
+	if err != nil {
+		return nil, err
+	}
+	o.attachFallback(p, func() (*plan.Node, error) { return o.OptimizeBlockWithOrder(b, order) })
+	return p, nil
 }
 
 // extensions returns the relations the subset should be extended with:

@@ -1,0 +1,53 @@
+package opt
+
+import (
+	"filterjoin/internal/plan"
+	"filterjoin/internal/query"
+)
+
+// attachFallback retains a degradation plan on p: when the chosen plan
+// contains a FetchMatches join — the one strategy whose network
+// crossings happen per outer row, mid-stream, after rows may already
+// have been emitted — the block is re-optimized with fetch-matches
+// disabled and the runner-up attached as p.Fallback. If the transport
+// later exhausts its retries inside the primary, the executor restarts
+// the query on the fallback instead of failing it (DESIGN.md §10).
+//
+// Bulk-shipment plans (ShipScan, semi-join filter shipments) need no
+// fallback: their crossings happen at Open, before any row is produced,
+// so a SiteError there is an honest whole-query error.
+//
+// The re-optimization is invisible to observability: search metrics are
+// snapshotted and restored, and the tracer is detached, so exact-count
+// metrics tests and trace goldens see only the primary search. Only the
+// top-level block (depth 1) retains a fallback — a nested sub-plan's
+// SiteError propagates to the top, where the top-level fallback covers
+// it.
+func (o *Optimizer) attachFallback(p *plan.Node, replan func() (*plan.Node, error)) {
+	if p == nil || o.depth != 1 || p.Find("FetchMatches") == nil {
+		return
+	}
+	saveMetrics := o.Metrics
+	saveTracer := o.Tracer
+	wasDisabled := o.Disabled["fetchmatches"]
+	o.Tracer = nil
+	o.Disabled["fetchmatches"] = true
+	defer func() {
+		o.Disabled["fetchmatches"] = wasDisabled
+		o.Tracer = saveTracer
+		o.Metrics = saveMetrics
+	}()
+	alt, err := replan()
+	if err != nil {
+		// No fault-free alternative exists (e.g. every other method is
+		// disabled): degradation is simply unavailable and a SiteError
+		// surfaces as the query error.
+		return
+	}
+	p.Fallback = alt
+}
+
+// optimizeBlockFallback is the replan used by OptimizeBlock.
+func (o *Optimizer) optimizeBlockFallback(b *query.Block) func() (*plan.Node, error) {
+	return func() (*plan.Node, error) { return o.OptimizeBlock(b) }
+}

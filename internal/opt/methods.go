@@ -383,6 +383,7 @@ func (c *Ctx) fetchMatchesCand(outer *plan.Node, ri *RelInfo, preds []*PredInfo,
 	est.CPUTuples += outer.Rows * (k + 1)
 	outerMk := outer.Make
 	alias := ri.Ref.Binding()
+	site := ri.Entry.Site
 	return plan.NewNode(&plan.Node{
 		Kind:      "FetchMatches",
 		Detail:    fmt.Sprintf("%s @site%d", keyDetail(c, outerCols, innerCols), ri.Entry.Site),
@@ -395,7 +396,7 @@ func (c *Ctx) fetchMatchesCand(outer *plan.Node, ri *RelInfo, preds []*PredInfo,
 		Rels:      rels,
 		Ordering:  ord,
 		Make: func() exec.Operator {
-			return dist.NewFetchMatchesJoin(outerMk(), t, ix, outerPos, residual, alias)
+			return dist.NewFetchMatchesJoin(outerMk(), t, ix, outerPos, residual, alias, site)
 		},
 	})
 }

@@ -188,7 +188,12 @@ func (o *Optimizer) OptimizeBlock(b *query.Block) (*plan.Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	return o.finishBest(ctx, tbl)
+	p, err := o.finishBest(ctx, tbl)
+	if err != nil {
+		return nil, err
+	}
+	o.attachFallback(p, o.optimizeBlockFallback(b))
+	return p, nil
 }
 
 // Depth reports the current nesting depth (1 while inside a top-level

@@ -44,6 +44,14 @@ type Node struct {
 
 	Make func() exec.Operator
 
+	// Fallback, when set on a root node, is a complete alternative plan
+	// for the same block that avoids per-row remote strategies
+	// (fetch-matches). The executor degrades to it when the primary plan
+	// aborts mid-query with a dist.SiteError after the transport's retry
+	// budget is exhausted. It is a sibling tree, not a child: Walk and
+	// Format do not descend into it.
+	Fallback *Node
+
 	Extra any // method-specific annotation (e.g. Filter Join cost breakdown)
 }
 
