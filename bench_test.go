@@ -11,6 +11,8 @@ package filterjoin_test
 // a custom metric where one exists.
 
 import (
+	"runtime"
+	"strconv"
 	"testing"
 
 	"filterjoin/internal/core"
@@ -89,6 +91,50 @@ func BenchmarkE15SortElision(b *testing.B) { benchExperiment(b, "E15") }
 
 // BenchmarkE16Parallel regenerates the intra-query parallelism sweep.
 func BenchmarkE16Parallel(b *testing.B) { benchExperiment(b, "E16") }
+
+// TestBatchParallelSpeedupGate is the performance regression gate on the
+// batch engine: the join-heavy E16 workload at DOP 4 under the batch
+// engine must not be slower than the DOP-1 row engine. Wall-clock is
+// machine-dependent, so the gate only runs where the comparison is fair:
+// it is skipped under -short (the sweep regenerates the full E16
+// artifact) and on boxes with fewer than 4 CPUs, where DOP 4 cannot buy
+// anything and the measurement would gate on scheduler noise. Cost
+// parity, by contrast, is asserted unconditionally inside E16 itself —
+// a parity break fails this test on any machine that runs it.
+func TestBatchParallelSpeedupGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping wall-clock gate in -short mode")
+	}
+	if n := runtime.NumCPU(); n < 4 {
+		t.Skipf("skipping DOP-4 wall-clock gate on %d CPU(s): parallel speedup needs free cores", n)
+	}
+	e, ok := experiments.ByID("E16")
+	if !ok {
+		t.Fatal("E16 not registered")
+	}
+	r, err := e.Run() // fails internally on any cost/row parity break
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, row := range r.Rows {
+		// Header: workload, engine, dop, wall ms, speedup, ...
+		if row[0] != "join-heavy" || row[1] != "batch" || row[2] != "4" {
+			continue
+		}
+		found = true
+		speedup, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatalf("unparseable speedup cell %q: %v", row[4], err)
+		}
+		if speedup < 1.0 {
+			t.Errorf("join-heavy batch DOP-4 speedup %.2f < 1.0 over the DOP-1 row engine", speedup)
+		}
+	}
+	if !found {
+		t.Fatal("E16 report has no join-heavy/batch/dop=4 row")
+	}
+}
 
 // ---------------------------------------------------------------------
 // Engine micro-benchmarks

@@ -129,14 +129,24 @@ func TestChaosFacadeRowIdentical(t *testing.T) {
 // window, while the fallback's single bulk-open message gets through on
 // a retry.
 func degradeDB(t *testing.T) *filterjoin.DB {
+	return degradeDBWith(t, nil)
+}
+
+// degradeDBWith is degradeDB with a config hook, so tests can stack
+// further knobs (batch size, parallelism) on the degradation scenario.
+func degradeDBWith(t *testing.T, mut func(*filterjoin.Config)) *filterjoin.DB {
 	t.Helper()
 	model := cost.DefaultModel()
 	model.NetByte *= 5000
-	db := distDB(t, filterjoin.Config{
+	cfg := filterjoin.Config{
 		Model: &model,
 		Chaos: &dist.ChaosConfig{OutageEvery: 5, OutageLen: 4, NoEventualDelivery: true},
 		Retry: dist.RetryPolicy{MaxAttempts: 3, BackoffMs: 1},
-	})
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	db := distDB(t, cfg)
 	for _, m := range []string{"merge", "nlj", "indexnl", "filterjoin"} {
 		db.Optimizer().Disabled[m] = true
 	}

@@ -79,6 +79,12 @@ type Config struct {
 	// (4 attempts, 400ms per-attempt timeout, 10ms initial backoff,
 	// doubling per retry).
 	Retry dist.RetryPolicy
+	// BatchSize sets the executor morsel size. 0 takes the process
+	// default (FILTERJOIN_BATCH, else 1024); 1 selects the classic
+	// row-at-a-time engine; above 1 operators exchange batches of up to
+	// that many rows. Results, row order, and measured cost counters are
+	// identical at every setting (DESIGN.md §11).
+	BatchSize int
 }
 
 // DB is an in-memory database instance: a catalog plus a configured
@@ -96,6 +102,7 @@ type DB struct {
 	model cost.Model
 	chaos *dist.ChaosConfig
 	retry dist.RetryPolicy
+	batch int
 }
 
 // Open creates an empty database.
@@ -112,7 +119,15 @@ func Open(cfg Config) *DB {
 	if cfg.DegreeOfParallelism > 1 {
 		o.DegreeOfParallelism = cfg.DegreeOfParallelism
 	}
-	db := &DB{cat: cat, o: o, model: model, chaos: cfg.Chaos, retry: cfg.Retry}
+	batch := cfg.BatchSize
+	if batch == 0 {
+		batch = exec.EnvBatchSize()
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	o.BatchSize = batch
+	db := &DB{cat: cat, o: o, model: model, chaos: cfg.Chaos, retry: cfg.Retry, batch: batch}
 	if !cfg.DisableFilterJoin {
 		db.fj = core.NewMethod(cfg.FilterJoin)
 		o.Register(db.fj)
@@ -494,6 +509,7 @@ func (db *DB) RunPlanContext(stdctx context.Context, p *plan.Node) (*Result, err
 func (db *DB) newExecContext(stdctx context.Context) *exec.Context {
 	ctx := exec.NewContext()
 	ctx.Caller = stdctx
+	ctx.BatchSize = db.batch
 	if db.chaos != nil {
 		ctx.Net = dist.NewChaosTransport(*db.chaos, db.retry)
 	}

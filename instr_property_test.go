@@ -30,10 +30,11 @@ type conservationOpts struct {
 	require  string // plan node kind that must be present, "" for any
 }
 
-func checkConservation(t *testing.T, name string, cat *catalog.Catalog, b *query.Block, model cost.Model, fjOpts *core.Options, dop int, co conservationOpts) {
+func checkConservation(t *testing.T, name string, cat *catalog.Catalog, b *query.Block, model cost.Model, fjOpts *core.Options, dop, batch int, co conservationOpts) cost.Counter {
 	t.Helper()
 	o := opt.New(cat, model)
 	o.DegreeOfParallelism = dop
+	o.BatchSize = batch
 	for _, m := range co.disabled {
 		o.Disabled[m] = true
 	}
@@ -48,6 +49,7 @@ func checkConservation(t *testing.T, name string, cat *catalog.Catalog, b *query
 		t.Fatalf("%s: plan does not contain required %s node", name, co.require)
 	}
 	ctx := exec.NewContext()
+	ctx.BatchSize = batch
 	if co.net != nil {
 		ctx.Net = co.net()
 	}
@@ -91,6 +93,7 @@ func checkConservation(t *testing.T, name string, cat *catalog.Catalog, b *query
 		t.Errorf("%s: root operator Inclusive = %s, want root counter %s",
 			name, rootIncl.String(), ctx.Counter.String())
 	}
+	return *ctx.Counter
 }
 
 func TestCostAttributionConservation(t *testing.T) {
@@ -164,7 +167,11 @@ func TestCostAttributionConservation(t *testing.T) {
 		for cfgName, fjOpts := range fjConfigs {
 			// dop=0 is the serial path; dop=4 routes scans and hash joins
 			// through the exchange operators, whose worker counters must be
-			// absorbed back for conservation to keep holding exactly.
+			// absorbed back for conservation to keep holding exactly. Each
+			// cell then runs under both engines: the batch pipeline must
+			// conserve attribution exactly like the row pipeline AND land
+			// on the same root totals — re-opened inners, shipped streams,
+			// and fetch-matches probes included, faulty transport and all.
 			for _, dop := range []int{0, 4} {
 				name := w.name + "/" + cfgName
 				if dop > 1 {
@@ -172,7 +179,12 @@ func TestCostAttributionConservation(t *testing.T) {
 				}
 				fjOpts, w := fjOpts, w
 				t.Run(name, func(t *testing.T) {
-					checkConservation(t, name, w.cat, w.block(), w.model, fjOpts, dop, w.co)
+					rowTotal := checkConservation(t, name, w.cat, w.block(), w.model, fjOpts, dop, 1, w.co)
+					batchTotal := checkConservation(t, name+"/batch", w.cat, w.block(), w.model, fjOpts, dop, exec.DefaultBatchSize, w.co)
+					if batchTotal != rowTotal {
+						t.Errorf("%s: batch engine total %s differs from row engine %s",
+							name, batchTotal.String(), rowTotal.String())
+					}
 				})
 			}
 		}

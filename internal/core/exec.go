@@ -273,6 +273,16 @@ func (f *filterJoinOp) Next(ctx *exec.Context) (value.Row, bool, error) {
 	return f.final.Next(ctx)
 }
 
+// NextBatch implements exec.BatchOperator by delegating to the final
+// join assembled in Open. The filter set's own network sends happen at
+// Open time, so batched emission cannot reorder them.
+func (f *filterJoinOp) NextBatch(ctx *exec.Context, dst *exec.Batch, max int) error {
+	if f.final == nil {
+		return fmt.Errorf("core: filter join not opened")
+	}
+	return exec.FillBatch(ctx, f.final, dst, max)
+}
+
 // Close implements exec.Operator.
 func (f *filterJoinOp) Close(ctx *exec.Context) error {
 	if f.final == nil {

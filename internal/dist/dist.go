@@ -4,6 +4,14 @@
 // NetBytes and NetMsgs against the cost counter, which is all the
 // semi-join vs fetch-matches vs ship-whole tradeoff (paper §5.1, SDD-1
 // vs System R*) depends on.
+//
+// The operators here stay deliberately row-at-a-time (no NextBatch):
+// FetchMatchesJoin issues one transport Send per outer row from inside
+// Next, so its per-row granularity IS the fault schedule a chaos
+// transport walks. Because these row-only operators pull their subtrees
+// via Next under both engines, the global send sequence — and with it
+// the injected drops, latencies, and outages — replays identically
+// whether the surrounding plan runs batched or not (exec/batch.go).
 package dist
 
 import (

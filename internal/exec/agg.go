@@ -70,14 +70,7 @@ func (g *GroupBy) Open(ctx *Context) error {
 	if err := g.Child.Open(ctx); err != nil {
 		return err
 	}
-	for {
-		r, ok, err := g.Child.Next(ctx)
-		if err != nil {
-			return errors.Join(err, g.Child.Close(ctx))
-		}
-		if !ok {
-			break
-		}
+	err := forEachInput(ctx, g.Child, func(r value.Row) error {
 		ctx.Counter.CPUTuples++
 		k := r.Key(g.GroupIdx)
 		gs := groups[k]
@@ -98,13 +91,17 @@ func (g *GroupBy) Open(ctx *Context) error {
 				var err error
 				v, err = a.Arg.Eval(r)
 				if err != nil {
-					return errors.Join(err, g.Child.Close(ctx))
+					return err
 				}
 			}
 			if err := gs.states[i].Add(v); err != nil {
-				return errors.Join(err, g.Child.Close(ctx))
+				return err
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return errors.Join(err, g.Child.Close(ctx))
 	}
 	if err := g.Child.Close(ctx); err != nil {
 		return err
@@ -145,6 +142,19 @@ func (g *GroupBy) Next(ctx *Context) (value.Row, bool, error) {
 	return r, true, nil
 }
 
+// NextBatch implements BatchOperator: emit the computed groups a morsel
+// at a time, charging one CPU operation per emitted row as Next does.
+func (g *GroupBy) NextBatch(ctx *Context, dst *Batch, max int) error {
+	n := min(max, len(g.results)-g.pos)
+	if n <= 0 {
+		return nil
+	}
+	dst.Rows = append(dst.Rows, g.results[g.pos:g.pos+n]...)
+	g.pos += n
+	ctx.Counter.CPUTuples += int64(n)
+	return nil
+}
+
 // Close implements Operator.
 func (g *GroupBy) Close(*Context) error {
 	g.results = nil
@@ -167,6 +177,8 @@ type StreamGroupBy struct {
 	states  []*expr.AggState
 	started bool
 	done    bool
+	in      Batch // batch-mode scratch for child pulls
+	ipos    int
 }
 
 // NewStreamGroupBy builds a streaming aggregation over grouped input.
@@ -186,6 +198,8 @@ func (g *StreamGroupBy) Schema() *schema.Schema { return g.out }
 func (g *StreamGroupBy) Open(ctx *Context) error {
 	g.started = false
 	g.done = false
+	g.in.Reset()
+	g.ipos = 0
 	return g.Child.Open(ctx)
 }
 
@@ -268,6 +282,57 @@ func (g *StreamGroupBy) Next(ctx *Context) (value.Row, bool, error) {
 			return nil, false, err
 		}
 	}
+}
+
+// NextBatch implements BatchOperator: run the same one-group state
+// machine over buffered child batches. Child batches are bounded by the
+// output budget, and the loop returns as soon as the budget is met, so
+// consumption matches the row engine's demand pattern exactly — in
+// particular, the boundary row that closes the last emitted group has
+// already been consumed and charged, just as in Next.
+func (g *StreamGroupBy) NextBatch(ctx *Context, dst *Batch, max int) error {
+	if g.done {
+		return nil
+	}
+	for len(dst.Rows) < max {
+		if g.ipos >= len(g.in.Rows) {
+			g.in.Reset()
+			g.ipos = 0
+			if err := FillBatch(ctx, g.Child, &g.in, max); err != nil {
+				return err
+			}
+			if g.in.Len() == 0 {
+				g.done = true
+				if g.started {
+					dst.Rows = append(dst.Rows, g.emit(ctx))
+				} else if len(g.GroupIdx) == 0 {
+					// Scalar aggregation over an empty input still yields one row.
+					g.begin(value.Row{}, "")
+					dst.Rows = append(dst.Rows, g.emit(ctx))
+				}
+				return nil
+			}
+		}
+		r := g.in.Rows[g.ipos]
+		g.ipos++
+		ctx.Counter.CPUTuples++
+		k := r.Key(g.GroupIdx)
+		if g.started && k != g.curKey {
+			dst.Rows = append(dst.Rows, g.emit(ctx))
+			g.begin(r, k)
+			if err := g.accumulate(r); err != nil {
+				return err
+			}
+			continue
+		}
+		if !g.started {
+			g.begin(r, k)
+		}
+		if err := g.accumulate(r); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Close implements Operator.

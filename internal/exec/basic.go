@@ -14,6 +14,7 @@ import (
 type Select struct {
 	Child Operator
 	Pred  expr.Expr
+	in    Batch // batch-mode scratch for child pulls
 }
 
 // NewSelect builds a selection.
@@ -45,6 +46,36 @@ func (s *Select) Next(ctx *Context) (value.Row, bool, error) {
 	}
 }
 
+// NextBatch implements BatchOperator: pull child batches no larger than
+// the output budget and keep the qualifying rows, charging one CPU
+// operation per evaluated row, accumulated locally and flushed once per
+// batch (and before an evaluation error propagates, mirroring the row
+// form's charge-then-evaluate order).
+func (s *Select) NextBatch(ctx *Context, dst *Batch, max int) error {
+	var cpu int64
+	defer func() { ctx.Counter.CPUTuples += cpu }()
+	for len(dst.Rows) == 0 {
+		s.in.Reset()
+		if err := FillBatch(ctx, s.Child, &s.in, max); err != nil {
+			return err
+		}
+		if s.in.Len() == 0 {
+			return nil
+		}
+		for _, r := range s.in.Rows {
+			cpu++
+			keep, err := expr.EvalBool(s.Pred, r)
+			if err != nil {
+				return err
+			}
+			if keep {
+				dst.Rows = append(dst.Rows, r)
+			}
+		}
+	}
+	return nil
+}
+
 // Close implements Operator.
 func (s *Select) Close(ctx *Context) error { return s.Child.Close(ctx) }
 
@@ -53,6 +84,7 @@ type Project struct {
 	Child Operator
 	Exprs []expr.Expr
 	Out   *schema.Schema
+	in    Batch // batch-mode scratch for child pulls
 }
 
 // NewProject builds a projection with an explicit output schema.
@@ -94,6 +126,30 @@ func (p *Project) Next(ctx *Context) (value.Row, bool, error) {
 	return out, true, nil
 }
 
+// NextBatch implements BatchOperator: one output row per input row, so
+// one child pull fills the whole output batch.
+func (p *Project) NextBatch(ctx *Context, dst *Batch, max int) error {
+	p.in.Reset()
+	if err := FillBatch(ctx, p.Child, &p.in, max); err != nil {
+		return err
+	}
+	var cpu int64
+	defer func() { ctx.Counter.CPUTuples += cpu }()
+	for _, r := range p.in.Rows {
+		cpu++
+		out := make(value.Row, len(p.Exprs))
+		for i, e := range p.Exprs {
+			v, err := e.Eval(r)
+			if err != nil {
+				return err
+			}
+			out[i] = v
+		}
+		dst.Rows = append(dst.Rows, out)
+	}
+	return nil
+}
+
 // Close implements Operator.
 func (p *Project) Close(ctx *Context) error { return p.Child.Close(ctx) }
 
@@ -103,6 +159,7 @@ func (p *Project) Close(ctx *Context) error { return p.Child.Close(ctx) }
 type Distinct struct {
 	Child Operator
 	seen  map[string]bool
+	in    Batch // batch-mode scratch for child pulls
 }
 
 // NewDistinct builds a hash-based duplicate eliminator.
@@ -132,6 +189,32 @@ func (d *Distinct) Next(ctx *Context) (value.Row, bool, error) {
 		d.seen[k] = true
 		return r, true, nil
 	}
+}
+
+// NextBatch implements BatchOperator: keep the first occurrence of each
+// full-row key, charging one CPU operation per input row.
+func (d *Distinct) NextBatch(ctx *Context, dst *Batch, max int) error {
+	for len(dst.Rows) == 0 {
+		d.in.Reset()
+		if err := FillBatch(ctx, d.Child, &d.in, max); err != nil {
+			return err
+		}
+		if d.in.Len() == 0 {
+			return nil
+		}
+		var cpu int64
+		for _, r := range d.in.Rows {
+			cpu++
+			k := r.FullKey()
+			if d.seen[k] {
+				continue
+			}
+			d.seen[k] = true
+			dst.Rows = append(dst.Rows, r)
+		}
+		ctx.Counter.CPUTuples += cpu
+	}
+	return nil
 }
 
 // Close implements Operator.
@@ -189,6 +272,21 @@ func (s *Sort) Next(ctx *Context) (value.Row, bool, error) {
 	return r, true, nil
 }
 
+// NextBatch implements BatchOperator: emit the sorted rows a morsel at a
+// time, charging one CPU operation per emitted row as Next does. (The
+// n·log n sort charge happened in Open, which drains the child batch-wise
+// when the context batches.)
+func (s *Sort) NextBatch(ctx *Context, dst *Batch, max int) error {
+	n := min(max, len(s.rows)-s.pos)
+	if n <= 0 {
+		return nil
+	}
+	dst.Rows = append(dst.Rows, s.rows[s.pos:s.pos+n]...)
+	s.pos += n
+	ctx.Counter.CPUTuples += int64(n)
+	return nil
+}
+
 // Close implements Operator.
 func (s *Sort) Close(*Context) error { return nil }
 
@@ -197,6 +295,7 @@ type Limit struct {
 	Child Operator
 	N     int
 	seen  int
+	one   Batch // batch-mode scratch: Limit demands rows singly
 }
 
 // NewLimit builds a limit.
@@ -222,6 +321,30 @@ func (l *Limit) Next(ctx *Context) (value.Row, bool, error) {
 	}
 	l.seen++
 	return r, true, nil
+}
+
+// NextBatch implements BatchOperator. Limit is the one operator that
+// demands rows singly (child budget 1): it is the only place a batch
+// pipeline stops mid-stream, and any lookahead would charge the subtree
+// for rows the row engine never pulls. The cascade of budget-1 pulls
+// degenerates the subtree to row-at-a-time exactly where the row engine
+// would run it — which is also the right performance call, since every
+// extra row produced below a saturated Limit is wasted work.
+//
+//lint:ignore costcharge Limit charges nothing by convention in both engines; the loop only forwards rows the child already charged
+func (l *Limit) NextBatch(ctx *Context, dst *Batch, max int) error {
+	for l.seen < l.N && len(dst.Rows) < max {
+		l.one.Reset()
+		if err := FillBatch(ctx, l.Child, &l.one, 1); err != nil {
+			return err
+		}
+		if l.one.Len() == 0 {
+			break
+		}
+		dst.Rows = append(dst.Rows, l.one.Rows[0])
+		l.seen++
+	}
+	return nil
 }
 
 // Close implements Operator.
@@ -263,6 +386,12 @@ func (m *Materialize) Open(ctx *Context) error {
 // Next implements Operator.
 func (m *Materialize) Next(ctx *Context) (value.Row, bool, error) {
 	return m.scan.Next(ctx)
+}
+
+// NextBatch implements BatchOperator by delegating to the embedded scan
+// of the built temporary.
+func (m *Materialize) NextBatch(ctx *Context, dst *Batch, max int) error {
+	return m.scan.NextBatch(ctx, dst, max)
 }
 
 // Close implements Operator.

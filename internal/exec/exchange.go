@@ -124,18 +124,26 @@ func morselRanges(numRows, rowsPerPage, dop int) []morselRange {
 }
 
 // scanMorsel runs one worker's share of the scan against its private
-// context, charging exactly the serial TableScan(+Select) units.
+// context, charging exactly the serial TableScan(+Select) units —
+// accumulated locally and flushed once per morsel, including ahead of a
+// predicate error (the failing row's charges are already accrued,
+// mirroring the serial charge-then-evaluate order).
 func (s *ParallelScan) scanMorsel(wctx *Context, m morselRange) ([]value.Row, error) {
+	var pages, cpu int64
+	defer func() {
+		wctx.Counter.PageReads += pages
+		wctx.Counter.CPUTuples += cpu
+	}()
 	rpp := s.Table.RowsPerPage()
 	var out []value.Row
 	for pos := m.lo; pos < m.hi; pos++ {
 		if pos%rpp == 0 {
-			wctx.Counter.PageReads++
+			pages++
 		}
 		r := s.Table.Row(pos)
-		wctx.Counter.CPUTuples++
+		cpu++
 		if s.Pred != nil {
-			wctx.Counter.CPUTuples++
+			cpu++
 			keep, err := expr.EvalBool(s.Pred, r)
 			if err != nil {
 				return out, err
@@ -194,6 +202,18 @@ func (s *ParallelScan) Next(*Context) (value.Row, bool, error) {
 	r := s.rows[s.pos]
 	s.pos++
 	return r, true, nil
+}
+
+// NextBatch implements BatchOperator: emit the buffered rows a morsel at
+// a time. Like Next, emission is coordination and charges nothing.
+func (s *ParallelScan) NextBatch(_ *Context, dst *Batch, max int) error {
+	n := min(max, len(s.rows)-s.pos)
+	if n <= 0 {
+		return nil
+	}
+	dst.Rows = append(dst.Rows, s.rows[s.pos:s.pos+n]...)
+	s.pos += n
+	return nil
 }
 
 // Close implements Operator.
@@ -437,6 +457,18 @@ func (g *Gather) Next(*Context) (value.Row, bool, error) {
 	r := g.results[g.pos]
 	g.pos++
 	return r, true, nil
+}
+
+// NextBatch implements BatchOperator: emit the merged rows a morsel at a
+// time. Like Next, emission is coordination and charges nothing.
+func (g *Gather) NextBatch(_ *Context, dst *Batch, max int) error {
+	n := min(max, len(g.results)-g.pos)
+	if n <= 0 {
+		return nil
+	}
+	dst.Rows = append(dst.Rows, g.results[g.pos:g.pos+n]...)
+	g.pos += n
+	return nil
 }
 
 // Close implements Operator.

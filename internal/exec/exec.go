@@ -48,7 +48,16 @@ type Context struct {
 
 	// Caller is the caller's cancellation context, if any. Operators and
 	// drain loops poll Err to abandon work after cancellation or deadline.
+	// The batch engine polls between batches rather than between rows, so
+	// cancellation granularity is one morsel.
 	Caller context.Context
+
+	// BatchSize selects the engine: above 1, drain loops and pipeline
+	// breakers pull morsels of up to this many rows through NextBatch
+	// (falling back to the row shim for operators without a batch path);
+	// 0 or 1 is the classic row-at-a-time engine. Counter totals are
+	// bit-identical at every setting (see batch.go).
+	BatchSize int
 
 	// ops collects the stats block of every Instrumented shim that ran
 	// under this context, in first-Open order.
@@ -90,24 +99,42 @@ type Operator interface {
 	Close(ctx *Context) error
 }
 
-// Drain opens op, pulls every row, closes it, and returns the rows.
+// Drain opens op, pulls every row (batch-wise when the context batches),
+// closes it, and returns the rows.
 func Drain(ctx *Context, op Operator) ([]value.Row, error) {
 	if err := op.Open(ctx); err != nil {
 		return nil, err
 	}
 	var rows []value.Row
-	for {
-		if err := ctx.Err(); err != nil {
-			return nil, errors.Join(err, op.Close(ctx))
+	if ctx.BatchSize > 1 {
+		b := NewBatch(ctx.BatchSize)
+		for {
+			if err := ctx.Err(); err != nil {
+				return nil, errors.Join(err, op.Close(ctx))
+			}
+			b.Reset()
+			if err := FillBatch(ctx, op, &b, ctx.BatchSize); err != nil {
+				return nil, errors.Join(err, op.Close(ctx))
+			}
+			if b.Len() == 0 {
+				break
+			}
+			rows = append(rows, b.Rows...)
 		}
-		r, ok, err := op.Next(ctx)
-		if err != nil {
-			return nil, errors.Join(err, op.Close(ctx))
+	} else {
+		for {
+			if err := ctx.Err(); err != nil {
+				return nil, errors.Join(err, op.Close(ctx))
+			}
+			r, ok, err := op.Next(ctx)
+			if err != nil {
+				return nil, errors.Join(err, op.Close(ctx))
+			}
+			if !ok {
+				break
+			}
+			rows = append(rows, r)
 		}
-		if !ok {
-			break
-		}
-		rows = append(rows, r)
 	}
 	if err := op.Close(ctx); err != nil {
 		return nil, err
@@ -121,6 +148,23 @@ func Count(ctx *Context, op Operator) (int, error) {
 		return 0, err
 	}
 	n := 0
+	if ctx.BatchSize > 1 {
+		b := NewBatch(ctx.BatchSize)
+		for {
+			if err := ctx.Err(); err != nil {
+				return 0, errors.Join(err, op.Close(ctx))
+			}
+			b.Reset()
+			if err := FillBatch(ctx, op, &b, ctx.BatchSize); err != nil {
+				return 0, errors.Join(err, op.Close(ctx))
+			}
+			if b.Len() == 0 {
+				break
+			}
+			n += b.Len()
+		}
+		return n, op.Close(ctx)
+	}
 	for {
 		if err := ctx.Err(); err != nil {
 			return 0, errors.Join(err, op.Close(ctx))
@@ -197,6 +241,19 @@ func (v *Values) Next(ctx *Context) (value.Row, bool, error) {
 	v.pos++
 	ctx.Counter.CPUTuples++
 	return r, true, nil
+}
+
+// NextBatch implements BatchOperator: emit the buffered rows a morsel at
+// a time, charging the same one CPU operation per row as Next.
+func (v *Values) NextBatch(ctx *Context, dst *Batch, max int) error {
+	n := min(max, len(v.Rows)-v.pos)
+	if n <= 0 {
+		return nil
+	}
+	dst.Rows = append(dst.Rows, v.Rows[v.pos:v.pos+n]...)
+	v.pos += n
+	ctx.Counter.CPUTuples += int64(n)
+	return nil
 }
 
 // Close implements Operator.

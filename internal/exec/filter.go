@@ -45,16 +45,13 @@ func BuildKeySetSized(ctx *Context, op Operator, keyIdx []int, hint int) (*KeySe
 	if err := op.Open(ctx); err != nil {
 		return nil, err
 	}
-	for {
-		r, ok, err := op.Next(ctx)
-		if err != nil {
-			return nil, errors.Join(err, op.Close(ctx))
-		}
-		if !ok {
-			break
-		}
+	err := forEachInput(ctx, op, func(r value.Row) error {
 		ctx.Counter.CPUTuples++
 		ks.Add(r.Project(keyIdx))
+		return nil
+	})
+	if err != nil {
+		return nil, errors.Join(err, op.Close(ctx))
 	}
 	return ks, op.Close(ctx)
 }
@@ -103,6 +100,7 @@ type KeySetFilter struct {
 	Child  Operator
 	Set    *KeySet
 	KeyIdx []int
+	in     Batch // batch-mode scratch for child pulls
 }
 
 // NewKeySetFilter builds an exact filter-set restriction.
@@ -130,6 +128,30 @@ func (f *KeySetFilter) Next(ctx *Context) (value.Row, bool, error) {
 	}
 }
 
+// NextBatch implements BatchOperator: test each row of a child batch no
+// larger than the output budget, charging one CPU operation per tested
+// row, accumulated locally and flushed once per batch.
+func (f *KeySetFilter) NextBatch(ctx *Context, dst *Batch, max int) error {
+	for len(dst.Rows) == 0 {
+		f.in.Reset()
+		if err := FillBatch(ctx, f.Child, &f.in, max); err != nil {
+			return err
+		}
+		if f.in.Len() == 0 {
+			return nil
+		}
+		var cpu int64
+		for _, r := range f.in.Rows {
+			cpu++
+			if f.Set.Contains(r, f.KeyIdx) {
+				dst.Rows = append(dst.Rows, r)
+			}
+		}
+		ctx.Counter.CPUTuples += cpu
+	}
+	return nil
+}
+
 // Close implements Operator.
 func (f *KeySetFilter) Close(ctx *Context) error { return f.Child.Close(ctx) }
 
@@ -141,6 +163,7 @@ type BloomFilterScan struct {
 	Child  Operator
 	Filter *bloom.Filter
 	KeyIdx []int
+	in     Batch // batch-mode scratch for child pulls
 }
 
 // NewBloomFilterScan builds a lossy filter-set restriction.
@@ -166,6 +189,30 @@ func (b *BloomFilterScan) Next(ctx *Context) (value.Row, bool, error) {
 			return r, true, nil
 		}
 	}
+}
+
+// NextBatch implements BatchOperator: probe the filter for each row of a
+// child batch no larger than the output budget, charging one CPU
+// operation per probed row, accumulated locally and flushed once.
+func (b *BloomFilterScan) NextBatch(ctx *Context, dst *Batch, max int) error {
+	for len(dst.Rows) == 0 {
+		b.in.Reset()
+		if err := FillBatch(ctx, b.Child, &b.in, max); err != nil {
+			return err
+		}
+		if b.in.Len() == 0 {
+			return nil
+		}
+		var cpu int64
+		for _, r := range b.in.Rows {
+			cpu++
+			if b.Filter.MayContain(r, b.KeyIdx) {
+				dst.Rows = append(dst.Rows, r)
+			}
+		}
+		ctx.Counter.CPUTuples += cpu
+	}
+	return nil
 }
 
 // Close implements Operator.
@@ -204,6 +251,20 @@ func (k *KeySetScan) Next(ctx *Context) (value.Row, bool, error) {
 	k.pos++
 	ctx.Counter.CPUTuples++
 	return r, true, nil
+}
+
+// NextBatch implements BatchOperator: emit the distinct keys a morsel at
+// a time, charging one CPU operation per emitted row as Next does.
+func (k *KeySetScan) NextBatch(ctx *Context, dst *Batch, max int) error {
+	rows := k.Set.Rows()
+	n := min(max, len(rows)-k.pos)
+	if n <= 0 {
+		return nil
+	}
+	dst.Rows = append(dst.Rows, rows[k.pos:k.pos+n]...)
+	k.pos += n
+	ctx.Counter.CPUTuples += int64(n)
+	return nil
 }
 
 // Close implements Operator.

@@ -142,6 +142,21 @@ func (in *Instrumented) Next(ctx *Context) (value.Row, bool, error) {
 	return r, ok, err
 }
 
+// NextBatch implements BatchOperator: one instrumentation bracket per
+// batch instead of per row — the dominant saving batch execution buys.
+// Nexts counts batch pulls; Rows still counts rows, so per-operator row
+// totals match the row engine. The wrapped operator runs natively when
+// it has a batch path and through the row shim otherwise, so deltas
+// accumulate exactly once per call regardless of mode or re-opens.
+func (in *Instrumented) NextBatch(ctx *Context, dst *Batch, max int) error {
+	before, start := in.enter(ctx)
+	err := FillBatch(ctx, in.Op, dst, max)
+	in.stats.Nexts++
+	in.stats.Rows += int64(len(dst.Rows))
+	in.exit(ctx, before, start)
+	return err
+}
+
 // Close implements Operator.
 func (in *Instrumented) Close(ctx *Context) error {
 	before, start := in.enter(ctx)

@@ -124,6 +124,8 @@ type HashJoin struct {
 	probe         value.Row
 	bucket        []value.Row
 	bpos          int
+	pbuf          Batch // batch-mode scratch for probe-side pulls
+	ppos          int
 }
 
 // NewHashJoin builds a hash equi-join; left is the build side and the
@@ -162,15 +164,17 @@ func (j *HashJoin) Open(ctx *Context) error {
 	j.probe = nil
 	j.bucket = nil
 	j.bpos = 0
+	j.pbuf.Reset()
+	j.ppos = 0
 	rows, err := Drain(ctx, j.Left)
 	if err != nil {
 		return err
 	}
 	for _, r := range rows {
-		ctx.Counter.CPUTuples++
 		k := r.Key(j.LeftKeys)
 		j.table[k] = append(j.table[k], r)
 	}
+	ctx.Counter.CPUTuples += int64(len(rows))
 	return j.Right.Open(ctx)
 }
 
@@ -203,6 +207,67 @@ func (j *HashJoin) Next(ctx *Context) (value.Row, bool, error) {
 			return nil, false, err
 		}
 		ctx.Counter.CPUTuples++
+		j.probe = r
+		j.bucket = j.table[r.Key(j.RightKeys)]
+		j.bpos = 0
+	}
+}
+
+// NextBatch implements BatchOperator: drain the pending bucket, then
+// consume probe rows from a buffered child batch. The probe buffer is
+// refilled only while dst is still empty — once the batch holds output,
+// a dry buffer returns it instead of pulling more probe rows, so the
+// child is never charged for rows a truncating consumer (Limit) would
+// not have demanded in the row engine. Charges match Next exactly: one
+// CPU operation per probe row and per bucket candidate, accumulated
+// locally and flushed once per call (including before residual errors).
+func (j *HashJoin) NextBatch(ctx *Context, dst *Batch, max int) error {
+	var cpu int64
+	defer func() { ctx.Counter.CPUTuples += cpu }()
+	for {
+		for j.bpos < len(j.bucket) {
+			if len(dst.Rows) >= max {
+				return nil
+			}
+			l := j.bucket[j.bpos]
+			j.bpos++
+			cpu++
+			var joined value.Row
+			if j.EmitProbeFirst {
+				joined = j.probe.Concat(l)
+			} else {
+				joined = l.Concat(j.probe)
+			}
+			if j.Residual != nil {
+				keep, err := expr.EvalBool(j.Residual, joined)
+				if err != nil {
+					return err
+				}
+				if !keep {
+					continue
+				}
+			}
+			dst.Rows = append(dst.Rows, joined)
+		}
+		if len(dst.Rows) >= max {
+			return nil
+		}
+		if j.ppos >= len(j.pbuf.Rows) {
+			if len(dst.Rows) > 0 {
+				return nil
+			}
+			j.pbuf.Reset()
+			j.ppos = 0
+			if err := FillBatch(ctx, j.Right, &j.pbuf, max); err != nil {
+				return err
+			}
+			if j.pbuf.Len() == 0 {
+				return nil
+			}
+		}
+		r := j.pbuf.Rows[j.ppos]
+		j.ppos++
+		cpu++
 		j.probe = r
 		j.bucket = j.table[r.Key(j.RightKeys)]
 		j.bpos = 0
@@ -465,8 +530,9 @@ func (j *IndexNLJoin) Close(ctx *Context) error { return j.Outer.Close(ctx) }
 //
 // Output order is identical to the serial HashJoin's: a probe row's key
 // partition contains every build row of that key in build order, workers
-// write match lists into per-probe-ordinal slots they exclusively own,
-// and the slots are emitted in probe order. The join therefore preserves
+// tag each match with its probe row's ordinal, and the ordinal merge
+// (ordinals ascend within a partition and are disjoint across
+// partitions) restores probe order exactly. The join therefore preserves
 // the probe side's physical ordering exactly like its serial form.
 type ParallelHashJoin struct {
 	Left, Right         Operator // Left is the build side, Right the probe side
@@ -507,25 +573,29 @@ func NewParallelHashJoinProbeFirst(left, right Operator, leftKeys, rightKeys []i
 func (j *ParallelHashJoin) Schema() *schema.Schema { return j.out }
 
 // joinWorker builds this worker's hash table and probes it, charging the
-// worker context the serial HashJoin's per-row units. slots is indexed
-// by probe ordinal; each ordinal belongs to exactly one worker.
-func (j *ParallelHashJoin) joinWorker(wctx *Context, build []value.Row, probe []value.Row, probeOrds []int, slots [][]value.Row) error {
+// worker context the serial HashJoin's per-row units (accumulated
+// locally and flushed once per worker — exact, since the components are
+// int64). Output rows are tagged with their probe ordinal so the merge
+// can restore probe order; each ordinal belongs to exactly one worker.
+func (j *ParallelHashJoin) joinWorker(wctx *Context, build []value.Row, probe []value.Row, probeOrds []int) ([]taggedRow, error) {
+	var cpu int64
+	defer func() { wctx.Counter.CPUTuples += cpu }()
 	hint := 0
 	if j.BuildSizeHint > 0 {
 		hint = j.BuildSizeHint/clampDOP(j.DOP) + 1
 	}
 	table := make(map[string][]value.Row, hint)
 	for _, r := range build {
-		wctx.Counter.CPUTuples++
+		cpu++
 		k := r.Key(j.LeftKeys)
 		table[k] = append(table[k], r)
 	}
+	var out []taggedRow
 	for i, r := range probe {
-		wctx.Counter.CPUTuples++
+		cpu++
 		bucket := table[r.Key(j.RightKeys)]
-		var matches []value.Row
 		for _, l := range bucket {
-			wctx.Counter.CPUTuples++
+			cpu++
 			var joined value.Row
 			if j.EmitProbeFirst {
 				joined = r.Concat(l)
@@ -535,17 +605,16 @@ func (j *ParallelHashJoin) joinWorker(wctx *Context, build []value.Row, probe []
 			if j.Residual != nil {
 				keep, err := expr.EvalBool(j.Residual, joined)
 				if err != nil {
-					return err
+					return out, err
 				}
 				if !keep {
 					continue
 				}
 			}
-			matches = append(matches, joined)
+			out = append(out, taggedRow{ord: probeOrds[i], row: joined})
 		}
-		slots[probeOrds[i]] = matches
 	}
-	return nil
+	return out, nil
 }
 
 // Open implements Operator: drain both children in the calling context,
@@ -571,7 +640,7 @@ func (j *ParallelHashJoin) Open(ctx *Context) error {
 		probeParts[w] = append(probeParts[w], r)
 		probeOrds[w] = append(probeOrds[w], ord)
 	}
-	slots := make([][]value.Row, len(probeRows))
+	outs := make([][]taggedRow, dop)
 	wctxs := make([]*Context, dop)
 	errs := make([]error, dop)
 	var wg sync.WaitGroup
@@ -583,7 +652,7 @@ func (j *ParallelHashJoin) Open(ctx *Context) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			errs[w] = j.joinWorker(wctxs[w], buildParts[w], probeParts[w], probeOrds[w], slots)
+			outs[w], errs[w] = j.joinWorker(wctxs[w], buildParts[w], probeParts[w], probeOrds[w])
 		}(w)
 	}
 	wg.Wait()
@@ -596,14 +665,7 @@ func (j *ParallelHashJoin) Open(ctx *Context) error {
 	if err != nil {
 		return err
 	}
-	n := 0
-	for _, s := range slots {
-		n += len(s)
-	}
-	j.results = make([]value.Row, 0, n)
-	for _, s := range slots {
-		j.results = append(j.results, s...)
-	}
+	j.results = mergeByOrdinal(outs)
 	return nil
 }
 
@@ -616,6 +678,18 @@ func (j *ParallelHashJoin) Next(*Context) (value.Row, bool, error) {
 	r := j.results[j.pos]
 	j.pos++
 	return r, true, nil
+}
+
+// NextBatch implements BatchOperator: emit the assembled rows a morsel
+// at a time. Like Next, emission is coordination and charges nothing.
+func (j *ParallelHashJoin) NextBatch(_ *Context, dst *Batch, max int) error {
+	n := min(max, len(j.results)-j.pos)
+	if n <= 0 {
+		return nil
+	}
+	dst.Rows = append(dst.Rows, j.results[j.pos:j.pos+n]...)
+	j.pos += n
+	return nil
 }
 
 // Close implements Operator.

@@ -48,6 +48,29 @@ func (s *TableScan) Next(ctx *Context) (value.Row, bool, error) {
 	return r, true, nil
 }
 
+// NextBatch implements BatchOperator: one tight loop over the morsel,
+// with the page-read and per-row CPU charges accumulated locally and
+// flushed once — the same units Next charges row by row.
+func (s *TableScan) NextBatch(ctx *Context, dst *Batch, max int) error {
+	n := s.Table.NumRows()
+	if s.pos >= n || max <= 0 {
+		return nil
+	}
+	rpp := s.Table.RowsPerPage()
+	var pages, cpu int64
+	for len(dst.Rows) < max && s.pos < n {
+		if s.pos%rpp == 0 {
+			pages++
+		}
+		dst.Rows = append(dst.Rows, s.Table.Row(s.pos))
+		s.pos++
+		cpu++
+	}
+	ctx.Counter.PageReads += pages
+	ctx.Counter.CPUTuples += cpu
+	return nil
+}
+
 // Close implements Operator.
 func (s *TableScan) Close(*Context) error { return nil }
 
@@ -94,6 +117,21 @@ func (l *IndexLookup) Next(ctx *Context) (value.Row, bool, error) {
 	l.pos++
 	ctx.Counter.CPUTuples++
 	return r, true, nil
+}
+
+// NextBatch implements BatchOperator. The page reads were charged by the
+// probe in Open; emission charges one CPU operation per row, as Next does.
+func (l *IndexLookup) NextBatch(ctx *Context, dst *Batch, max int) error {
+	n := min(max, len(l.ids)-l.pos)
+	if n <= 0 {
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		dst.Rows = append(dst.Rows, l.Table.Row(l.ids[l.pos]))
+		l.pos++
+	}
+	ctx.Counter.CPUTuples += int64(n)
+	return nil
 }
 
 // Close implements Operator.

@@ -64,19 +64,12 @@ func (t *TopN) Open(ctx *Context) error {
 	for v := t.N; v > 1; v >>= 1 {
 		lgN++
 	}
-	for {
-		r, ok, err := t.Child.Next(ctx)
-		if err != nil {
-			return errors.Join(err, t.Child.Close(ctx))
-		}
-		if !ok {
-			break
-		}
+	err := forEachInput(ctx, t.Child, func(r value.Row) error {
 		ctx.Counter.CPUTuples++
 		if h.Len() < t.N {
 			heap.Push(h, r)
 			ctx.Counter.CPUTuples += lgN
-			continue
+			return nil
 		}
 		// Replace the current worst if r sorts before it.
 		if value.CompareRows(r, h.rows[0], t.Keys, t.Desc) < 0 {
@@ -84,6 +77,10 @@ func (t *TopN) Open(ctx *Context) error {
 			heap.Fix(h, 0)
 			ctx.Counter.CPUTuples += lgN
 		}
+		return nil
+	})
+	if err != nil {
+		return errors.Join(err, t.Child.Close(ctx))
 	}
 	if err := t.Child.Close(ctx); err != nil {
 		return err
@@ -107,6 +104,19 @@ func (t *TopN) Next(ctx *Context) (value.Row, bool, error) {
 	t.pos++
 	ctx.Counter.CPUTuples++
 	return r, true, nil
+}
+
+// NextBatch implements BatchOperator: emit the surviving rows a morsel
+// at a time, charging one CPU operation per emitted row as Next does.
+func (t *TopN) NextBatch(ctx *Context, dst *Batch, max int) error {
+	n := min(max, len(t.rows)-t.pos)
+	if n <= 0 {
+		return nil
+	}
+	dst.Rows = append(dst.Rows, t.rows[t.pos:t.pos+n]...)
+	t.pos += n
+	ctx.Counter.CPUTuples += int64(n)
+	return nil
 }
 
 // Close implements Operator.

@@ -78,6 +78,12 @@ type Optimizer struct {
 	// fans the parametric coster's sample points out across forks.
 	DegreeOfParallelism int
 
+	// BatchSize is the executor morsel size recorded on emitted plan
+	// roots (and shown by EXPLAIN as batch=N). 0 or 1 means the
+	// row-at-a-time engine. It does not influence plan choice: both
+	// engines charge identical counter totals by construction.
+	BatchSize int
+
 	Metrics Metrics
 
 	// Tracer, when set, observes the search: DP subsets explored, join
@@ -126,6 +132,14 @@ func (o *Optimizer) DOP() int {
 		return 1
 	}
 	return o.DegreeOfParallelism
+}
+
+// Batch returns the effective executor batch size (at least 1).
+func (o *Optimizer) Batch() int {
+	if o.BatchSize < 1 {
+		return 1
+	}
+	return o.BatchSize
 }
 
 // Fork returns an isolated optimizer for a concurrent nested
@@ -193,6 +207,12 @@ func (o *Optimizer) OptimizeBlock(b *query.Block) (*plan.Node, error) {
 		return nil, err
 	}
 	o.attachFallback(p, o.optimizeBlockFallback(b))
+	if bs := o.Batch(); bs > 1 && o.depth == 1 {
+		p.BatchSize = bs
+		if p.Fallback != nil {
+			p.Fallback.BatchSize = bs
+		}
+	}
 	return p, nil
 }
 

@@ -105,6 +105,9 @@ func formatAnalyze(b *strings.Builder, n *Node, m cost.Model, byNode map[*Node]*
 	if n.Parallel > 1 {
 		ord += fmt.Sprintf(", parallel=%d", n.Parallel)
 	}
+	if n.BatchSize > 1 {
+		ord += fmt.Sprintf(", batch=%d", n.BatchSize)
+	}
 	st := byNode[n]
 	if st == nil || st.Opens == 0 {
 		fmt.Fprintf(b, "  (est rows=%.0f, act rows=-, est cost=%.2f%s, not executed)",

@@ -42,6 +42,10 @@ type Node struct {
 	// (ParallelScan, partitioned hash join); 0 or 1 means serial.
 	Parallel int
 
+	// BatchSize, set on a root node, is the morsel size the batch engine
+	// pulls through the plan; 0 or 1 means the row-at-a-time engine.
+	BatchSize int
+
 	Make func() exec.Operator
 
 	// Fallback, when set on a root node, is a complete alternative plan
@@ -80,6 +84,9 @@ func format(b *strings.Builder, n *Node, m cost.Model, depth int) {
 	}
 	if n.Parallel > 1 {
 		fmt.Fprintf(b, " parallel=%d", n.Parallel)
+	}
+	if n.BatchSize > 1 {
+		fmt.Fprintf(b, " batch=%d", n.BatchSize)
 	}
 	b.WriteString(")\n")
 	for _, c := range n.Children {
