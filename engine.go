@@ -1,0 +1,687 @@
+package filterjoin
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"filterjoin/internal/catalog"
+	"filterjoin/internal/core"
+	"filterjoin/internal/cost"
+	"filterjoin/internal/dist"
+	"filterjoin/internal/exec"
+	"filterjoin/internal/expr"
+	"filterjoin/internal/opt"
+	"filterjoin/internal/plan"
+	"filterjoin/internal/plancache"
+	"filterjoin/internal/query"
+	"filterjoin/internal/schema"
+	"filterjoin/internal/sql"
+	"filterjoin/internal/stats"
+	"filterjoin/internal/storage"
+	"filterjoin/internal/value"
+)
+
+// Engine is the serving layer's shared core: the catalog, the cost model,
+// the prototype optimizer, the Filter Join method, and the normalized-
+// query plan cache. An Engine is immutable between catalog epochs —
+// every DDL statement, insert, or bulk load takes the write lock, bumps
+// the epoch, and drops every derived artifact (cached plans, memoized
+// view leaves, parametric costers) — while any number of Sessions run
+// SELECTs concurrently under the read lock.
+//
+// Reads never optimize on the prototype optimizer directly: every cache
+// miss plans on a private fork (OptimizeBlock mutates search state), and
+// the fork's counters are folded back into the prototype, so
+// Optimizer().Metrics still accounts all planning work. Execution-time
+// deferred planning (the Filter Join's restricted-view optimization)
+// accounts to the plan's captured optimizer instead: a cache hit
+// provably does not move the prototype's PlansConsidered, which is how
+// tests distinguish a hit from a silent re-optimization.
+type Engine struct {
+	// mu is the epoch lock: DDL = Lock, SELECT = RLock.
+	mu    sync.RWMutex
+	cat   *catalog.Catalog
+	proto *opt.Optimizer
+	fj    *core.Method
+	model cost.Model
+	chaos *dist.ChaosConfig
+	retry dist.RetryPolicy
+	batch int
+
+	// epoch counts catalog mutations; it is a component of every plan
+	// cache key, so entries from before a DDL statement can never be
+	// served after it.
+	epoch    uint64
+	cache    *plancache.Cache
+	cacheOff bool
+}
+
+func newEngine(cfg Config) *Engine {
+	model := cost.DefaultModel()
+	if cfg.Model != nil {
+		model = *cfg.Model
+	}
+	cat := catalog.New()
+	o := opt.New(cat, model)
+	if cfg.MaxRelations > 0 {
+		o.MaxRelations = cfg.MaxRelations
+	}
+	if cfg.DegreeOfParallelism > 1 {
+		o.DegreeOfParallelism = cfg.DegreeOfParallelism
+	}
+	batch := cfg.BatchSize
+	if batch == 0 {
+		batch = exec.EnvBatchSize()
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	o.BatchSize = batch
+	e := &Engine{
+		cat:      cat,
+		proto:    o,
+		model:    model,
+		chaos:    cfg.Chaos,
+		retry:    cfg.Retry,
+		batch:    batch,
+		cache:    plancache.New(cfg.PlanCacheSize),
+		cacheOff: cfg.DisablePlanCache,
+	}
+	if !cfg.DisableFilterJoin {
+		e.fj = core.NewMethod(cfg.FilterJoin)
+		o.Register(e.fj)
+	}
+	return e
+}
+
+// NewSession returns a lightweight handle for running statements against
+// the engine. Sessions are cheap; create one per goroutine or share one
+// freely — all synchronization lives in the engine.
+func (e *Engine) NewSession() *Session { return &Session{eng: e} }
+
+// CacheStats returns the plan cache's cumulative hit/miss/bypass/evict
+// counters.
+func (e *Engine) CacheStats() plancache.Stats { return e.cache.Stats() }
+
+// Epoch returns the current catalog epoch (bumped by every catalog
+// mutation).
+func (e *Engine) Epoch() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.epoch
+}
+
+// invalidateLocked drops every artifact derived from catalog contents:
+// cached plans (via the epoch and an explicit clear), memoized view
+// leaves, and the Filter Join's parametric costers. Callers hold the
+// write lock.
+func (e *Engine) invalidateLocked() {
+	e.epoch++
+	e.cache.Clear()
+	e.proto.InvalidateCaches()
+	if e.fj != nil {
+		e.fj.ResetCosterCache()
+	}
+}
+
+// InvalidateCaches drops cached plans and costers; call after bulk
+// loading through the storage API directly.
+func (e *Engine) InvalidateCaches() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.invalidateLocked()
+}
+
+// execStmt dispatches one parsed statement. SELECT-family statements run
+// under the read lock (concurrently); everything else mutates the
+// catalog under the write lock.
+func (e *Engine) execStmt(stdctx context.Context, st sql.Statement, args []value.Value) (*Result, error) {
+	switch s := st.(type) {
+	case *sql.SelectStmt:
+		return e.serveSelect(stdctx, s, args)
+	case *sql.UnionStmt:
+		if len(args) > 0 {
+			return nil, fmt.Errorf("filterjoin: bind arguments are not supported for UNION statements")
+		}
+		return e.serveUnion(stdctx, s)
+	case *sql.ExplainStmt:
+		return e.serveExplainStmt(stdctx, s, args)
+	default:
+		if len(args) > 0 {
+			return nil, fmt.Errorf("filterjoin: bind arguments are only valid for SELECT statements")
+		}
+		return e.execDDL(st)
+	}
+}
+
+// execDDL runs a catalog-mutating statement under the write lock.
+func (e *Engine) execDDL(st sql.Statement) (*Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch s := st.(type) {
+	case *sql.CreateTable:
+		cols := make([]schema.Column, len(s.Cols))
+		for i, c := range s.Cols {
+			cols[i] = schema.Column{Table: s.Name, Name: c.Name, Type: c.Type}
+		}
+		if e.cat.Has(s.Name) {
+			return nil, fmt.Errorf("filterjoin: relation %q already exists", s.Name)
+		}
+		e.cat.AddTable(storage.NewTable(s.Name, schema.New(cols...)))
+		e.invalidateLocked()
+		return nil, nil
+
+	case *sql.CreateIndex:
+		ent, err := e.cat.Get(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		if ent.Table == nil {
+			return nil, fmt.Errorf("filterjoin: cannot index non-stored relation %q", s.Table)
+		}
+		idx := make([]int, len(s.Cols))
+		for i, cn := range s.Cols {
+			j, err := ent.Table.Schema().IndexOf("", cn)
+			if err != nil {
+				return nil, err
+			}
+			idx[i] = j
+		}
+		if _, err := ent.Table.CreateIndex(s.Name, idx); err != nil {
+			return nil, err
+		}
+		e.invalidateLocked()
+		return nil, nil
+
+	case *sql.CreateView:
+		if e.cat.Has(s.Name) {
+			return nil, fmt.Errorf("filterjoin: relation %q already exists", s.Name)
+		}
+		b, err := sql.BindSelect(e.cat, s.Select)
+		if err != nil {
+			return nil, err
+		}
+		e.cat.AddView(s.Name, b)
+		e.invalidateLocked()
+		return nil, nil
+
+	case *sql.Insert:
+		ent, err := e.cat.Get(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		if ent.Table == nil {
+			return nil, fmt.Errorf("filterjoin: cannot insert into non-stored relation %q", s.Table)
+		}
+		for _, r := range s.Rows {
+			if err := ent.Table.Insert(value.Row(r)); err != nil {
+				return nil, err
+			}
+		}
+		ent.InvalidateStats()
+		e.invalidateLocked()
+		return nil, nil
+	}
+	return nil, fmt.Errorf("filterjoin: unsupported statement %T", st)
+}
+
+// prepareArgs resolves a SELECT's bind mode. With explicit placeholders
+// the caller must supply exactly the declared arguments; without them,
+// literals in WHERE comparisons are auto-extracted so textually
+// different queries normalize onto one cache entry. The two modes never
+// mix: a statement with `?`/`$n` is never auto-normalized.
+func prepareArgs(sel *sql.SelectStmt, userArgs []value.Value) (norm *sql.SelectStmt, allArgs []value.Value, err error) {
+	if sql.HasParams(sel) {
+		n, err := sql.NumParams(sel)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(userArgs) != n {
+			return nil, nil, fmt.Errorf("filterjoin: statement expects %d bind arguments, got %d", n, len(userArgs))
+		}
+		return sel, userArgs, nil
+	}
+	if len(userArgs) > 0 {
+		return nil, nil, fmt.Errorf("filterjoin: statement has no parameter placeholders but %d bind arguments were given", len(userArgs))
+	}
+	norm, allArgs, _ = sql.Normalize(sel)
+	return norm, allArgs, nil
+}
+
+// serveSelect is the cached SELECT path: normalize, build the
+// selectivity-classed cache key, and either serve the cached plan or
+// optimize on a private fork and cache the result. The whole span —
+// lookup through execution — runs under the read lock so catalog
+// mutations cannot interleave with a scan.
+func (e *Engine) serveSelect(stdctx context.Context, sel *sql.SelectStmt, userArgs []value.Value) (*Result, error) {
+	norm, allArgs, err := prepareArgs(sel, userArgs)
+	if err != nil {
+		return nil, err
+	}
+	text := sql.FormatSelect(norm)
+
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	b, err := sql.BindSelectArgs(e.cat, norm, allArgs)
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		p     *plan.Node
+		state string
+	)
+	if e.cacheOff {
+		e.cache.Bypass()
+		state = "bypass"
+	} else {
+		key := plancache.Key{
+			Text:    text,
+			Epoch:   e.epoch,
+			Classes: e.classVector(b, len(allArgs)),
+			Config:  e.configFingerprint(),
+		}
+		if ent, ok := e.cache.Get(key); ok {
+			p, state = ent.Plan, "hit"
+		} else {
+			state = "miss"
+			defer func() {
+				if p != nil {
+					e.cache.Put(key, &plancache.Entry{Plan: p, Cost: p.Total(e.model)})
+				}
+			}()
+		}
+	}
+	if p == nil {
+		p, err = e.optimizeOnFork(b)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res, err := e.runPlan(stdctx, p, allArgs)
+	if err != nil {
+		return nil, err
+	}
+	res.CacheState = state
+	return res, nil
+}
+
+// optimizeOnFork plans a block on a private fork of the prototype
+// optimizer (carrying over the execution knobs Fork deliberately drops)
+// and folds the fork's search counters back into the prototype, so
+// concurrent sessions never contend on optimizer state but planning work
+// still shows up in Optimizer().Metrics.
+func (e *Engine) optimizeOnFork(b *query.Block) (*plan.Node, error) {
+	f := e.proto.Fork()
+	f.DegreeOfParallelism = e.proto.DegreeOfParallelism
+	f.BatchSize = e.proto.BatchSize
+	f.Tracer = e.proto.Tracer
+	p, err := f.OptimizeBlock(b)
+	e.proto.MergeMetrics(f.Metrics)
+	return p, err
+}
+
+// classVector computes the selectivity class of each bind parameter: the
+// index of the parametric coster's sample-grid point (paper Fig 5) the
+// parameter's predicate selectivity falls into. Two values in the same
+// class would drive the coster to the same grid point, so the cached
+// plan is the plan either would get; a value in a different class misses
+// the cache and re-optimizes. Class -1 means the predicate could not be
+// classified against stored statistics (multi-relation predicates, view
+// columns) — one class for all values, honest within the grid's own
+// resolution. Class -2 means the parameter appears in no predicate and
+// cannot move plan choice at all.
+func (e *Engine) classVector(b *query.Block, nParams int) string {
+	if nParams == 0 {
+		return ""
+	}
+	classes := make([]int, nParams)
+	for i := range classes {
+		classes[i] = -2
+	}
+	layout, err := b.Layout(e.cat)
+	if err == nil {
+		grid := e.classGrid()
+		for _, p := range b.Preds {
+			set := map[int]bool{}
+			expr.CollectParams(p, set)
+			if len(set) == 0 {
+				continue
+			}
+			cls := e.classifyPred(p, b, layout, grid)
+			for idx := range set {
+				if idx >= 0 && idx < nParams {
+					classes[idx] = cls
+				}
+			}
+		}
+	}
+	parts := make([]string, nParams)
+	for i, c := range classes {
+		parts[i] = fmt.Sprintf("%d", c)
+	}
+	return strings.Join(parts, ",")
+}
+
+// classifyPred buckets one predicate's selectivity into the sample grid.
+// Only single-relation predicates over relations with stored statistics
+// are classifiable; everything else shares class -1.
+func (e *Engine) classifyPred(p expr.Expr, b *query.Block, layout *query.Layout, grid []float64) int {
+	rels := query.PredRels(p, layout)
+	if rels.Count() != 1 {
+		return -1
+	}
+	ri := rels.Members()[0]
+	if ri >= len(b.Rels) {
+		return -1
+	}
+	ent, err := e.cat.Get(b.Rels[ri].Name)
+	if err != nil {
+		return -1
+	}
+	st := ent.Stats()
+	if st == nil {
+		return -1
+	}
+	local := p.Shift(-layout.Offsets[ri])
+	return plancache.Classify(stats.Selectivity(local, st), grid)
+}
+
+// classGrid returns the selectivity grid shared with the parametric view
+// coster: the configured sample points, defaulting to the paper's.
+func (e *Engine) classGrid() []float64 {
+	if e.fj != nil && len(e.fj.Opts.SamplePoints) > 0 {
+		return e.fj.Opts.SamplePoints
+	}
+	return core.DefaultSamplePoints
+}
+
+// configFingerprint captures every optimizer knob that changes plan
+// choice, so flipping a method toggle (experiments do this through
+// Optimizer()) keys different cache entries instead of serving plans
+// from another configuration.
+func (e *Engine) configFingerprint() string {
+	o := e.proto
+	var off []string
+	for k, v := range o.Disabled {
+		if v {
+			off = append(off, k)
+		}
+	}
+	sort.Strings(off)
+	var ov []string
+	for k := range o.StatsOverride {
+		ov = append(ov, k)
+	}
+	sort.Strings(ov)
+	return fmt.Sprintf("off=%s ov=%s noorder=%t dop=%d batch=%d max=%d fj=%t",
+		strings.Join(off, ","), strings.Join(ov, ","),
+		o.DisableOrderProps, o.DOP(), o.Batch(), o.MaxRelations, e.fj != nil)
+}
+
+// serveUnion runs each UNION arm through the cached SELECT path (each
+// arm can hit the plan cache independently) and combines the results,
+// deduplicating for plain UNION. The envelope result carries no cache
+// state of its own.
+func (e *Engine) serveUnion(stdctx context.Context, u *sql.UnionStmt) (*Result, error) {
+	var out *Result
+	seen := map[string]bool{}
+	for i, sel := range u.Selects {
+		res, err := e.serveSelect(stdctx, sel, nil)
+		if err != nil {
+			return nil, fmt.Errorf("filterjoin: UNION arm %d: %w", i+1, err)
+		}
+		if out == nil {
+			out = &Result{Columns: res.Columns, Plan: res.Plan}
+		} else if len(res.Columns) != len(out.Columns) {
+			return nil, fmt.Errorf("filterjoin: UNION arms have %d vs %d columns",
+				len(out.Columns), len(res.Columns))
+		}
+		out.Cost.Add(res.Cost)
+		out.ops = append(out.ops, res.ops...)
+		for _, r := range res.Rows {
+			if !u.All {
+				k := r.FullKey()
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+			}
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	return out, nil
+}
+
+// explainSelect renders EXPLAIN (and EXPLAIN ANALYZE) output for a
+// SELECT through the same cache machinery as execution: the lookup both
+// consults and populates the cache, and the output ends with a
+// `cache=hit|miss|bypass` banner. A statement with unbound parameters
+// (prepare-time EXPLAIN with no arguments) plans a generic plan and
+// bypasses the cache: without values there is no selectivity class to
+// key on.
+func (e *Engine) explainSelect(stdctx context.Context, sel *sql.SelectStmt, userArgs []value.Value, analyze bool, opts plan.AnalyzeOptions, stmtCost bool) (string, *plan.Node, error) {
+	var (
+		norm    *sql.SelectStmt
+		allArgs []value.Value
+		unbound bool
+	)
+	if sql.HasParams(sel) && len(userArgs) == 0 {
+		if n, err := sql.NumParams(sel); err != nil {
+			return "", nil, err
+		} else if n > 0 {
+			if analyze {
+				return "", nil, fmt.Errorf("filterjoin: EXPLAIN ANALYZE requires all %d bind arguments", n)
+			}
+			unbound = true
+			norm = sel
+		}
+	}
+	if !unbound {
+		var err error
+		norm, allArgs, err = prepareArgs(sel, userArgs)
+		if err != nil {
+			return "", nil, err
+		}
+	}
+	text := sql.FormatSelect(norm)
+
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	b, err := sql.BindSelectArgs(e.cat, norm, allArgs)
+	if err != nil {
+		return "", nil, err
+	}
+
+	var (
+		p     *plan.Node
+		state string
+	)
+	if unbound || e.cacheOff {
+		e.cache.Bypass()
+		state = "bypass"
+	} else {
+		key := plancache.Key{
+			Text:    text,
+			Epoch:   e.epoch,
+			Classes: e.classVector(b, len(allArgs)),
+			Config:  e.configFingerprint(),
+		}
+		if ent, ok := e.cache.Get(key); ok {
+			p, state = ent.Plan, "hit"
+		} else {
+			state = "miss"
+			defer func() {
+				if p != nil {
+					e.cache.Put(key, &plancache.Entry{Plan: p, Cost: p.Total(e.model)})
+				}
+			}()
+		}
+	}
+	if p == nil {
+		p, err = e.optimizeOnFork(b)
+		if err != nil {
+			return "", nil, err
+		}
+	}
+
+	if analyze {
+		res, err := e.runPlan(stdctx, p, allArgs)
+		if err != nil {
+			return "", nil, err
+		}
+		out := plan.FormatAnalyze(res.Plan, e.model, res.ops, res.Cost, opts)
+		out += degradedLine(res)
+		out += fmt.Sprintf("rows: %d\n", len(res.Rows))
+		out += fmt.Sprintf("cache=%s\n", state)
+		return out, p, nil
+	}
+	out := plan.Format(p, e.model)
+	if stmtCost {
+		out += fmt.Sprintf("estimated cost: %.2f  (%s)\n", p.Total(e.model), p.Est.String())
+	}
+	out += fmt.Sprintf("cache=%s\n", state)
+	return out, p, nil
+}
+
+// serveExplainStmt handles the SQL-level EXPLAIN statement, wrapping the
+// rendered text into a one-column result set.
+func (e *Engine) serveExplainStmt(stdctx context.Context, s *sql.ExplainStmt, args []value.Value) (*Result, error) {
+	text, p, err := e.explainSelect(stdctx, s.Select, args, s.Analyze, plan.AnalyzeOptions{}, !s.Analyze)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Columns: []string{"plan"}, Plan: p}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		out.Rows = append(out.Rows, value.Row{value.NewString(line)})
+	}
+	return out, nil
+}
+
+// queryBlock optimizes and executes a programmatically built block on
+// the prototype optimizer. Programmatic plans never touch the plan
+// cache (there is no statement text to key on); they serialize against
+// everything else under the write lock, preserving the classic DB
+// semantics.
+func (e *Engine) queryBlock(stdctx context.Context, b *query.Block) (*Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cache.Bypass()
+	p, err := e.proto.OptimizeBlock(b)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.runPlan(stdctx, p, nil)
+	if err != nil {
+		return nil, err
+	}
+	res.CacheState = "bypass"
+	return res, nil
+}
+
+// planBlock optimizes a block on the prototype optimizer without
+// executing it (programmatic path, write lock).
+func (e *Engine) planBlock(b *query.Block) (*plan.Node, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.proto.OptimizeBlock(b)
+}
+
+// runPlanLocked executes an already-optimized plan under the read lock.
+func (e *Engine) runPlanLocked(stdctx context.Context, p *plan.Node) (*Result, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.runPlan(stdctx, p, nil)
+}
+
+// newExecContext builds the per-execution context: a fresh counter, the
+// caller's cancellation context, the bind arguments, and — when chaos is
+// configured — a fresh fault-injecting transport, so every execution
+// replays the fault schedule from its start and a query's faults depend
+// only on the seed and the query itself.
+func (e *Engine) newExecContext(stdctx context.Context, args []value.Value) *exec.Context {
+	ctx := exec.NewContext()
+	ctx.Caller = stdctx
+	ctx.BatchSize = e.batch
+	ctx.Params = args
+	if e.chaos != nil {
+		ctx.Net = dist.NewChaosTransport(*e.chaos, e.retry)
+	}
+	return ctx
+}
+
+// runPlan executes a plan, collecting rows and measured counters, with
+// graceful degradation to the retained fault-free fallback on a
+// mid-query site error. Callers hold at least the read lock.
+func (e *Engine) runPlan(stdctx context.Context, p *plan.Node, args []value.Value) (*Result, error) {
+	ctx := e.newExecContext(stdctx, args)
+	rows, err := exec.Drain(ctx, p.Make())
+	executed := p
+	var degradedFrom *plan.Node
+	var siteErr *dist.SiteError
+	if err != nil {
+		var se *dist.SiteError
+		if !errors.As(err, &se) || p.Fallback == nil {
+			return nil, err
+		}
+		// Graceful degradation: a remote strategy exhausted its retry
+		// budget mid-query. Restart on the retained fault-free fallback
+		// in the SAME execution context, so the aborted primary's work
+		// stays on the bill (cost conservation holds across the switch)
+		// and the observability layer shows the full price of the fault.
+		ctx.Counter.Fallbacks++
+		degradedFrom, siteErr, executed = p, se, p.Fallback
+		rows, err = exec.Drain(ctx, executed.Make())
+		if err != nil {
+			return nil, err
+		}
+	}
+	cols := make([]string, executed.OutSchema.Len())
+	for i := range cols {
+		cols[i] = executed.OutSchema.Col(i).QualifiedName()
+	}
+	return &Result{Columns: cols, Rows: rows, Cost: *ctx.Counter, Plan: executed,
+		DegradedFrom: degradedFrom, SiteErr: siteErr, ops: ctx.OperatorStats()}, nil
+}
+
+// degradedLine renders the degradation banner appended to EXPLAIN
+// ANALYZE output; empty on a normal run.
+func degradedLine(res *Result) string {
+	if res.DegradedFrom == nil {
+		return ""
+	}
+	return fmt.Sprintf("degraded=plan: primary aborted (%v); rows produced by fault-free fallback above\n", res.SiteErr)
+}
+
+// toValues converts user-facing bind arguments to engine values.
+func toValues(args []any) ([]value.Value, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	out := make([]value.Value, len(args))
+	for i, a := range args {
+		switch v := a.(type) {
+		case value.Value:
+			out[i] = v
+		case int:
+			out[i] = value.NewInt(int64(v))
+		case int64:
+			out[i] = value.NewInt(v)
+		case float64:
+			out[i] = value.NewFloat(v)
+		case string:
+			out[i] = value.NewString(v)
+		case bool:
+			out[i] = value.NewBool(v)
+		case nil:
+			out[i] = value.Null
+		default:
+			return nil, fmt.Errorf("filterjoin: unsupported bind argument %d of type %T", i+1, a)
+		}
+	}
+	return out, nil
+}

@@ -22,15 +22,18 @@
 //	res, _ := db.Query(`SELECT E.did FROM Emp E, DepAvgSal V
 //	                    WHERE E.did = V.did AND E.sal > V.avgsal`)
 //	fmt.Println(res.Rows, res.Cost)
+//
+// Serving layer: a DB is a thin facade over an Engine — the shared,
+// epoch-versioned core owning the catalog, the optimizer, and a
+// normalized-query plan cache — plus one default Session. Create more
+// sessions with NewSession for concurrent serving, and use Prepare for
+// statements executed repeatedly with different bind arguments.
 package filterjoin
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"io"
-	"strings"
-	"sync"
 
 	"filterjoin/internal/catalog"
 	"filterjoin/internal/core"
@@ -39,6 +42,7 @@ import (
 	"filterjoin/internal/exec"
 	"filterjoin/internal/opt"
 	"filterjoin/internal/plan"
+	"filterjoin/internal/plancache"
 	"filterjoin/internal/query"
 	"filterjoin/internal/schema"
 	"filterjoin/internal/sql"
@@ -85,68 +89,59 @@ type Config struct {
 	// that many rows. Results, row order, and measured cost counters are
 	// identical at every setting (DESIGN.md §11).
 	BatchSize int
+	// DisablePlanCache turns the serving layer's normalized-query plan
+	// cache off: every SELECT re-optimizes from scratch and EXPLAIN
+	// reports cache=bypass.
+	DisablePlanCache bool
+	// PlanCacheSize caps the plan cache's entry count; 0 takes the
+	// default (256).
+	PlanCacheSize int
 }
 
-// DB is an in-memory database instance: a catalog plus a configured
-// optimizer, with SQL and programmatic entry points.
+// DB is an in-memory database instance: an Engine (catalog, optimizer,
+// plan cache) plus a default Session, with SQL and programmatic entry
+// points.
 //
-// A DB serializes its operations internally: Exec/Query/Plan calls are
-// safe from multiple goroutines, but run one at a time (the engine is a
-// single-threaded simulator; Filter Join execution plants transient
-// catalog entries that must not interleave).
+// SELECT statements from any number of goroutines run concurrently;
+// catalog-mutating statements (DDL, INSERT, bulk loads, registrations)
+// serialize under the engine's epoch lock and invalidate every cached
+// plan. The programmatic block/plan entry points (QueryBlock, PlanBlock,
+// RunPlan) keep the classic fully-serialized semantics.
 type DB struct {
-	mu    sync.Mutex
-	cat   *catalog.Catalog
-	o     *opt.Optimizer
-	fj    *core.Method
-	model cost.Model
-	chaos *dist.ChaosConfig
-	retry dist.RetryPolicy
-	batch int
+	eng *Engine
+	def *Session
 }
 
 // Open creates an empty database.
 func Open(cfg Config) *DB {
-	model := cost.DefaultModel()
-	if cfg.Model != nil {
-		model = *cfg.Model
-	}
-	cat := catalog.New()
-	o := opt.New(cat, model)
-	if cfg.MaxRelations > 0 {
-		o.MaxRelations = cfg.MaxRelations
-	}
-	if cfg.DegreeOfParallelism > 1 {
-		o.DegreeOfParallelism = cfg.DegreeOfParallelism
-	}
-	batch := cfg.BatchSize
-	if batch == 0 {
-		batch = exec.EnvBatchSize()
-	}
-	if batch < 1 {
-		batch = 1
-	}
-	o.BatchSize = batch
-	db := &DB{cat: cat, o: o, model: model, chaos: cfg.Chaos, retry: cfg.Retry, batch: batch}
-	if !cfg.DisableFilterJoin {
-		db.fj = core.NewMethod(cfg.FilterJoin)
-		o.Register(db.fj)
-	}
-	return db
+	eng := newEngine(cfg)
+	return &DB{eng: eng, def: eng.NewSession()}
 }
 
-// Catalog exposes the relation catalog.
-func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+// Engine exposes the serving core shared by this DB's sessions.
+func (db *DB) Engine() *Engine { return db.eng }
 
-// Optimizer exposes the optimizer (metrics, method toggles, overrides).
-func (db *DB) Optimizer() *opt.Optimizer { return db.o }
+// NewSession returns a new lightweight session on the DB's engine.
+func (db *DB) NewSession() *Session { return db.eng.NewSession() }
+
+// Catalog exposes the relation catalog.
+func (db *DB) Catalog() *catalog.Catalog { return db.eng.cat }
+
+// Optimizer exposes the prototype optimizer (metrics, method toggles,
+// overrides). Cache-served queries plan on private forks of it; their
+// search counters are merged back into its Metrics.
+func (db *DB) Optimizer() *opt.Optimizer { return db.eng.proto }
 
 // FilterJoin exposes the registered Filter Join method; nil when the
 // method is disabled.
-func (db *DB) FilterJoin() *core.Method { return db.fj }
+func (db *DB) FilterJoin() *core.Method { return db.eng.fj }
 
 // Model returns the cost model in effect.
-func (db *DB) Model() cost.Model { return db.model }
+func (db *DB) Model() cost.Model { return db.eng.model }
+
+// CacheStats returns the plan cache's cumulative counters (hits, misses,
+// bypasses, evictions, clears).
+func (db *DB) CacheStats() plancache.Stats { return db.eng.CacheStats() }
 
 // Result is the outcome of running one query.
 type Result struct {
@@ -154,6 +149,13 @@ type Result struct {
 	Rows    []value.Row
 	Cost    cost.Counter // measured execution cost counters
 	Plan    *plan.Node   // the plan that produced the rows
+
+	// CacheState reports how the serving layer obtained the plan:
+	// "hit" (served from the plan cache), "miss" (optimized and cached),
+	// "bypass" (cache disabled, programmatic plan, or otherwise not
+	// cacheable), or "" for statements the cache does not apply to
+	// (DDL, the UNION envelope).
+	CacheState string
 
 	// DegradedFrom reports graceful degradation: when the primary plan
 	// aborted mid-query with a dist.SiteError (transport retries
@@ -178,255 +180,63 @@ type Result struct {
 func (r *Result) Stats() []*exec.OpStats { return r.ops }
 
 // TotalCost weighs the measured counters under the DB's cost model.
-func (db *DB) TotalCost(r *Result) float64 { return db.model.Total(r.Cost) }
+func (db *DB) TotalCost(r *Result) float64 { return db.eng.model.Total(r.Cost) }
 
-// Exec runs one SQL statement. DDL and INSERT return a nil *Result;
-// SELECT returns rows.
-func (db *DB) Exec(text string) (*Result, error) {
-	return db.ExecContext(context.Background(), text)
+// Exec runs one SQL statement with optional bind arguments (see
+// Session.Exec). DDL and INSERT return a nil *Result; SELECT returns
+// rows.
+func (db *DB) Exec(text string, args ...any) (*Result, error) {
+	return db.def.Exec(text, args...)
 }
 
 // ExecContext is Exec under a caller context: cancellation or deadline
 // expiry aborts execution between rows (and between transport retries)
 // with the context's error.
-func (db *DB) ExecContext(stdctx context.Context, text string) (*Result, error) {
-	st, err := sql.Parse(text)
-	if err != nil {
-		return nil, err
-	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.execStmt(stdctx, st)
+func (db *DB) ExecContext(stdctx context.Context, text string, args ...any) (*Result, error) {
+	return db.def.ExecContext(stdctx, text, args...)
 }
 
 // ExecScript runs a semicolon-separated sequence of statements,
 // discarding SELECT results.
-func (db *DB) ExecScript(text string) error {
-	sts, err := sql.ParseScript(text)
-	if err != nil {
-		return err
-	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	for _, st := range sts {
-		if _, err := db.execStmt(context.Background(), st); err != nil {
-			return err
-		}
-	}
-	return nil
-}
+func (db *DB) ExecScript(text string) error { return db.def.ExecScript(text) }
 
 // Query runs a SELECT statement and returns its rows.
-func (db *DB) Query(text string) (*Result, error) {
-	return db.QueryContext(context.Background(), text)
+func (db *DB) Query(text string, args ...any) (*Result, error) {
+	return db.def.Query(text, args...)
 }
 
 // QueryContext is Query under a caller context (see ExecContext).
-func (db *DB) QueryContext(stdctx context.Context, text string) (*Result, error) {
-	res, err := db.ExecContext(stdctx, text)
-	if err != nil {
-		return nil, err
-	}
-	if res == nil {
-		return nil, fmt.Errorf("filterjoin: statement produced no result set")
-	}
-	return res, nil
+func (db *DB) QueryContext(stdctx context.Context, text string, args ...any) (*Result, error) {
+	return db.def.QueryContext(stdctx, text, args...)
 }
+
+// Prepare parses and validates a SELECT once for repeated execution with
+// bind arguments (see Session.Prepare).
+func (db *DB) Prepare(text string) (*Stmt, error) { return db.def.Prepare(text) }
 
 // ExecParsed runs an already-parsed SQL statement (tools that parse a
 // script once and dispatch statements themselves use this).
 func (db *DB) ExecParsed(st sql.Statement) (*Result, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.execStmt(context.Background(), st)
-}
-
-func (db *DB) execStmt(stdctx context.Context, st sql.Statement) (*Result, error) {
-	switch s := st.(type) {
-	case *sql.CreateTable:
-		cols := make([]schema.Column, len(s.Cols))
-		for i, c := range s.Cols {
-			cols[i] = schema.Column{Table: s.Name, Name: c.Name, Type: c.Type}
-		}
-		if db.cat.Has(s.Name) {
-			return nil, fmt.Errorf("filterjoin: relation %q already exists", s.Name)
-		}
-		db.cat.AddTable(storage.NewTable(s.Name, schema.New(cols...)))
-		return nil, nil
-
-	case *sql.CreateIndex:
-		e, err := db.cat.Get(s.Table)
-		if err != nil {
-			return nil, err
-		}
-		if e.Table == nil {
-			return nil, fmt.Errorf("filterjoin: cannot index non-stored relation %q", s.Table)
-		}
-		idx := make([]int, len(s.Cols))
-		for i, cn := range s.Cols {
-			j, err := e.Table.Schema().IndexOf("", cn)
-			if err != nil {
-				return nil, err
-			}
-			idx[i] = j
-		}
-		if _, err := e.Table.CreateIndex(s.Name, idx); err != nil {
-			return nil, err
-		}
-		db.invalidate()
-		return nil, nil
-
-	case *sql.CreateView:
-		if db.cat.Has(s.Name) {
-			return nil, fmt.Errorf("filterjoin: relation %q already exists", s.Name)
-		}
-		b, err := sql.BindSelect(db.cat, s.Select)
-		if err != nil {
-			return nil, err
-		}
-		db.cat.AddView(s.Name, b)
-		return nil, nil
-
-	case *sql.Insert:
-		e, err := db.cat.Get(s.Table)
-		if err != nil {
-			return nil, err
-		}
-		if e.Table == nil {
-			return nil, fmt.Errorf("filterjoin: cannot insert into non-stored relation %q", s.Table)
-		}
-		for _, r := range s.Rows {
-			if err := e.Table.Insert(value.Row(r)); err != nil {
-				return nil, err
-			}
-		}
-		e.InvalidateStats()
-		db.invalidate()
-		return nil, nil
-
-	case *sql.SelectStmt:
-		b, err := sql.BindSelect(db.cat, s)
-		if err != nil {
-			return nil, err
-		}
-		return db.queryBlock(stdctx, b)
-
-	case *sql.UnionStmt:
-		return db.execUnion(stdctx, s)
-
-	case *sql.ExplainStmt:
-		return db.execExplain(stdctx, s)
-	}
-	return nil, fmt.Errorf("filterjoin: unsupported statement %T", st)
-}
-
-// execExplain renders the optimized plan (and, with ANALYZE, measured
-// execution costs) as a one-column result set.
-func (db *DB) execExplain(stdctx context.Context, s *sql.ExplainStmt) (*Result, error) {
-	b, err := sql.BindSelect(db.cat, s.Select)
-	if err != nil {
-		return nil, err
-	}
-	p, err := db.o.OptimizeBlock(b)
-	if err != nil {
-		return nil, err
-	}
-	var text string
-	if s.Analyze {
-		res, err := db.runPlan(stdctx, p)
-		if err != nil {
-			return nil, err
-		}
-		text = plan.FormatAnalyze(res.Plan, db.model, res.ops, res.Cost, plan.AnalyzeOptions{})
-		text += degradedLine(res)
-		text += fmt.Sprintf("rows: %d\n", len(res.Rows))
-	} else {
-		text = plan.Format(p, db.model)
-		text += fmt.Sprintf("estimated cost: %.2f  (%s)\n", p.Total(db.model), p.Est.String())
-	}
-	out := &Result{Columns: []string{"plan"}, Plan: p}
-	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
-		out.Rows = append(out.Rows, value.Row{value.NewString(line)})
-	}
-	return out, nil
-}
-
-// execUnion runs each UNION arm as its own optimized block and combines
-// the results (deduplicating for plain UNION). Arms must agree on output
-// width.
-func (db *DB) execUnion(stdctx context.Context, u *sql.UnionStmt) (*Result, error) {
-	var out *Result
-	seen := map[string]bool{}
-	for i, sel := range u.Selects {
-		b, err := sql.BindSelect(db.cat, sel)
-		if err != nil {
-			return nil, fmt.Errorf("filterjoin: UNION arm %d: %w", i+1, err)
-		}
-		res, err := db.queryBlock(stdctx, b)
-		if err != nil {
-			return nil, fmt.Errorf("filterjoin: UNION arm %d: %w", i+1, err)
-		}
-		if out == nil {
-			out = &Result{Columns: res.Columns, Plan: res.Plan}
-		} else if len(res.Columns) != len(out.Columns) {
-			return nil, fmt.Errorf("filterjoin: UNION arms have %d vs %d columns",
-				len(out.Columns), len(res.Columns))
-		}
-		out.Cost.Add(res.Cost)
-		out.ops = append(out.ops, res.ops...)
-		for _, r := range res.Rows {
-			if !u.All {
-				k := r.FullKey()
-				if seen[k] {
-					continue
-				}
-				seen[k] = true
-			}
-			out.Rows = append(out.Rows, r)
-		}
-	}
-	return out, nil
-}
-
-// invalidate drops caches that depend on data or physical design.
-func (db *DB) invalidate() {
-	db.o.InvalidateCaches()
-	if db.fj != nil {
-		db.fj.ResetCosterCache()
-	}
+	return db.eng.execStmt(context.Background(), st, nil)
 }
 
 // InvalidateCaches drops memoized plans and costers; call after bulk
 // loading through the storage API directly.
-func (db *DB) InvalidateCaches() {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.invalidate()
-}
+func (db *DB) InvalidateCaches() { db.eng.InvalidateCaches() }
 
-// QueryBlock optimizes and executes a programmatically built block.
+// QueryBlock optimizes and executes a programmatically built block
+// (bypassing the plan cache; there is no statement text to key on).
 func (db *DB) QueryBlock(b *query.Block) (*Result, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.queryBlock(context.Background(), b)
-}
-
-func (db *DB) queryBlock(stdctx context.Context, b *query.Block) (*Result, error) {
-	p, err := db.o.OptimizeBlock(b)
-	if err != nil {
-		return nil, err
-	}
-	return db.runPlan(stdctx, p)
+	return db.eng.queryBlock(context.Background(), b)
 }
 
 // PlanBlock optimizes a block without executing it.
 func (db *DB) PlanBlock(b *query.Block) (*plan.Node, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.o.OptimizeBlock(b)
+	return db.eng.planBlock(b)
 }
 
-// Plan parses and optimizes a SELECT without executing it.
+// Plan parses and optimizes a SELECT without executing it (programmatic
+// path: the plan cache is not consulted).
 func (db *DB) Plan(text string) (*plan.Node, error) {
 	st, err := sql.Parse(text)
 	if err != nil {
@@ -436,56 +246,34 @@ func (db *DB) Plan(text string) (*plan.Node, error) {
 	if !ok {
 		return nil, fmt.Errorf("filterjoin: Plan requires a SELECT statement")
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	b, err := sql.BindSelect(db.cat, sel)
+	db.eng.mu.Lock()
+	defer db.eng.mu.Unlock()
+	b, err := sql.BindSelect(db.eng.cat, sel)
 	if err != nil {
 		return nil, err
 	}
-	return db.o.OptimizeBlock(b)
+	return db.eng.proto.OptimizeBlock(b)
 }
 
-// Explain returns the optimized plan rendered as text.
-func (db *DB) Explain(text string) (string, error) {
-	p, err := db.Plan(text)
-	if err != nil {
-		return "", err
-	}
-	return plan.Format(p, db.model), nil
+// Explain returns the optimized plan rendered as text, ending with the
+// plan-cache banner (cache=hit|miss|bypass). The lookup goes through —
+// and populates — the plan cache, exactly like execution.
+func (db *DB) Explain(text string, args ...any) (string, error) {
+	return db.def.Explain(text, args...)
 }
 
 // ExplainAnalyze optimizes and executes a SELECT, returning the plan
 // tree annotated per operator with the optimizer's estimates next to
 // the measured rows and cost counters (deterministic: wall times are
 // collected in Result.Stats but not printed here).
-func (db *DB) ExplainAnalyze(text string) (string, error) {
-	return db.ExplainAnalyzeOpts(text, plan.AnalyzeOptions{})
+func (db *DB) ExplainAnalyze(text string, args ...any) (string, error) {
+	return db.def.ExplainAnalyze(text, args...)
 }
 
 // ExplainAnalyzeOpts is ExplainAnalyze with rendering options (show
 // per-operator wall time, tune the misestimate-flag ratio).
-func (db *DB) ExplainAnalyzeOpts(text string, opts plan.AnalyzeOptions) (string, error) {
-	p, err := db.Plan(text)
-	if err != nil {
-		return "", err
-	}
-	res, err := db.RunPlan(p)
-	if err != nil {
-		return "", err
-	}
-	out := plan.FormatAnalyze(res.Plan, db.model, res.ops, res.Cost, opts)
-	out += degradedLine(res)
-	out += fmt.Sprintf("rows: %d\n", len(res.Rows))
-	return out, nil
-}
-
-// degradedLine renders the degradation banner appended to EXPLAIN
-// ANALYZE output; empty on a normal run.
-func degradedLine(res *Result) string {
-	if res.DegradedFrom == nil {
-		return ""
-	}
-	return fmt.Sprintf("degraded=plan: primary aborted (%v); rows produced by fault-free fallback above\n", res.SiteErr)
+func (db *DB) ExplainAnalyzeOpts(text string, opts plan.AnalyzeOptions, args ...any) (string, error) {
+	return db.def.ExplainAnalyzeOpts(text, opts, args...)
 }
 
 // RunPlan executes an already-optimized plan and collects its rows and
@@ -496,98 +284,54 @@ func (db *DB) RunPlan(p *plan.Node) (*Result, error) {
 
 // RunPlanContext is RunPlan under a caller context (see ExecContext).
 func (db *DB) RunPlanContext(stdctx context.Context, p *plan.Node) (*Result, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.runPlan(stdctx, p)
-}
-
-// newExecContext builds the per-execution context: a fresh counter, the
-// caller's cancellation context, and — when chaos is configured — a
-// fresh fault-injecting transport, so every execution replays the fault
-// schedule from its start and a query's faults depend only on the seed
-// and the query itself.
-func (db *DB) newExecContext(stdctx context.Context) *exec.Context {
-	ctx := exec.NewContext()
-	ctx.Caller = stdctx
-	ctx.BatchSize = db.batch
-	if db.chaos != nil {
-		ctx.Net = dist.NewChaosTransport(*db.chaos, db.retry)
-	}
-	return ctx
-}
-
-func (db *DB) runPlan(stdctx context.Context, p *plan.Node) (*Result, error) {
-	ctx := db.newExecContext(stdctx)
-	rows, err := exec.Drain(ctx, p.Make())
-	executed := p
-	var degradedFrom *plan.Node
-	var siteErr *dist.SiteError
-	if err != nil {
-		var se *dist.SiteError
-		if !errors.As(err, &se) || p.Fallback == nil {
-			return nil, err
-		}
-		// Graceful degradation: a remote strategy exhausted its retry
-		// budget mid-query. Restart on the retained fault-free fallback
-		// in the SAME execution context, so the aborted primary's work
-		// stays on the bill (cost conservation holds across the switch)
-		// and the observability layer shows the full price of the fault.
-		ctx.Counter.Fallbacks++
-		degradedFrom, siteErr, executed = p, se, p.Fallback
-		rows, err = exec.Drain(ctx, executed.Make())
-		if err != nil {
-			return nil, err
-		}
-	}
-	cols := make([]string, executed.OutSchema.Len())
-	for i := range cols {
-		cols[i] = executed.OutSchema.Col(i).QualifiedName()
-	}
-	return &Result{Columns: cols, Rows: rows, Cost: *ctx.Counter, Plan: executed,
-		DegradedFrom: degradedFrom, SiteErr: siteErr, ops: ctx.OperatorStats()}, nil
+	return db.eng.runPlanLocked(stdctx, p)
 }
 
 // LoadCSV bulk-loads CSV data into a stored table (an optional header
 // row matching the column names is skipped). Returns rows loaded.
 func (db *DB) LoadCSV(table string, r io.Reader) (int, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	e, err := db.cat.Get(table)
+	e := db.eng
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ent, err := e.cat.Get(table)
 	if err != nil {
 		return 0, err
 	}
-	if e.Table == nil {
+	if ent.Table == nil {
 		return 0, fmt.Errorf("filterjoin: cannot load into non-stored relation %q", table)
 	}
-	n, err := e.Table.LoadCSV(r)
+	n, err := ent.Table.LoadCSV(r)
 	if n > 0 {
-		e.InvalidateStats()
-		db.invalidate()
+		ent.InvalidateStats()
+		e.invalidateLocked()
 	}
 	return n, err
 }
 
 // RegisterTable adds a pre-built storage table (bulk loading path).
 func (db *DB) RegisterTable(t *storage.Table) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.cat.AddTable(t)
-	db.invalidate()
+	e := db.eng
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cat.AddTable(t)
+	e.invalidateLocked()
 }
 
 // RegisterRemoteTable adds a table homed at a (simulated) remote site.
 func (db *DB) RegisterRemoteTable(t *storage.Table, site int) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.cat.AddRemoteTable(t, site)
-	db.invalidate()
+	e := db.eng
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cat.AddRemoteTable(t, site)
+	e.invalidateLocked()
 }
 
 // RegisterRemoteView defines a view whose body executes at a remote site.
 // The definition text must be a SELECT statement.
 func (db *DB) RegisterRemoteView(name, selectText string, site int) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	e := db.eng
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	st, err := sql.Parse(selectText)
 	if err != nil {
 		return err
@@ -596,12 +340,12 @@ func (db *DB) RegisterRemoteView(name, selectText string, site int) error {
 	if !ok {
 		return fmt.Errorf("filterjoin: remote view definition must be a SELECT")
 	}
-	b, err := sql.BindSelect(db.cat, sel)
+	b, err := sql.BindSelect(e.cat, sel)
 	if err != nil {
 		return err
 	}
-	db.cat.AddRemoteView(name, b, site)
-	db.invalidate()
+	e.cat.AddRemoteView(name, b, site)
+	e.invalidateLocked()
 	return nil
 }
 
@@ -610,8 +354,9 @@ func (db *DB) RegisterRemoteView(name, selectText string, site int) error {
 // virtual extension for costing; perCall is the average rows returned
 // per invocation (0 lets the optimizer derive it from st).
 func (db *DB) RegisterFunc(name string, sch *schema.Schema, argCols []int, fn catalog.FuncBody, st *stats.RelStats, perCall float64) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.cat.AddFunc(name, sch, argCols, fn, st, perCall)
-	db.invalidate()
+	e := db.eng
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cat.AddFunc(name, sch, argCols, fn, st, perCall)
+	e.invalidateLocked()
 }

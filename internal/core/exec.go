@@ -61,6 +61,11 @@ func (s *fjExecSpec) make() exec.Operator {
 type filterJoinOp struct {
 	spec  *fjExecSpec
 	final exec.Operator
+	// o is the per-execution optimizer fork. The spec's optimizer may be
+	// shared by concurrent executions of one cached plan, and deferred
+	// planning mutates optimizer state (temp names, transient catalog
+	// entries, metrics), so Open forks it and merges the counters back.
+	o *opt.Optimizer
 	// Observability for experiments.
 	FilterSize   int
 	RestrictSeen int
@@ -96,6 +101,18 @@ func (f *filterJoinOp) Open(ctx *exec.Context) error {
 	s := f.spec
 	ch := s.choice
 
+	// All planning-time mutation below runs on a private fork of the
+	// captured optimizer: transient filter tables go into the fork's
+	// cloned catalog and temp names draw from the fork's sequence, so N
+	// sessions can execute one cached plan concurrently. The fork's
+	// search counters are folded back into the shared optimizer when Open
+	// returns.
+	f.o = s.o.Fork()
+	f.o.DegreeOfParallelism = s.o.DegreeOfParallelism
+	f.o.BatchSize = s.o.BatchSize
+	f.o.Tracer = s.o.Tracer
+	defer func() { s.o.MergeMetrics(f.o.Metrics) }()
+
 	// Step 1: production set P.
 	var pFilter, pJoin exec.Operator
 	switch {
@@ -104,7 +121,7 @@ func (f *filterJoinOp) Open(ctx *exec.Context) error {
 		// the full outer streams once into the final join.
 		pFilter, pJoin = s.filterMake(), s.outerMake()
 	case ch.Materialize:
-		mat := exec.NewMaterialize(s.outerMake(), s.o.TempName("P"))
+		mat := exec.NewMaterialize(s.outerMake(), f.o.TempName("P"))
 		pFilter, pJoin = mat, mat
 	default:
 		pFilter, pJoin = s.outerMake(), s.outerMake()
@@ -231,7 +248,7 @@ func keySchema(s *fjExecSpec, t *storage.Table) *schema.Schema {
 // coster; the concrete sub-plan is generated only once, here.
 func (f *filterJoinOp) restrictView(ctx *exec.Context, keys *exec.KeySet) (exec.Operator, error) {
 	s := f.spec
-	o := s.o
+	o := f.o
 	fName := o.TempName("magic")
 	rows := make([]value.Row, len(keys.Rows()))
 	copy(rows, keys.Rows())

@@ -132,6 +132,7 @@ func (j *FetchMatchesJoin) Schema() *schema.Schema { return j.out }
 
 // Open implements exec.Operator.
 func (j *FetchMatchesJoin) Open(ctx *exec.Context) error {
+	j.Residual = expr.BindParams(j.Residual, ctx.Params)
 	j.cur = nil
 	j.ids = nil
 	j.pos = 0

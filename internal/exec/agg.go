@@ -65,6 +65,7 @@ type groupState struct {
 
 // Open implements Operator.
 func (g *GroupBy) Open(ctx *Context) error {
+	g.Aggs = expr.BindAggs(g.Aggs, ctx.Params)
 	groups := make(map[string]*groupState, g.SizeHint)
 	order := make([]string, 0, g.SizeHint)
 	if err := g.Child.Open(ctx); err != nil {
@@ -196,6 +197,7 @@ func (g *StreamGroupBy) Schema() *schema.Schema { return g.out }
 
 // Open implements Operator.
 func (g *StreamGroupBy) Open(ctx *Context) error {
+	g.Aggs = expr.BindAggs(g.Aggs, ctx.Params)
 	g.started = false
 	g.done = false
 	g.in.Reset()

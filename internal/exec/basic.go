@@ -26,7 +26,10 @@ func NewSelect(child Operator, pred expr.Expr) *Select {
 func (s *Select) Schema() *schema.Schema { return s.Child.Schema() }
 
 // Open implements Operator.
-func (s *Select) Open(ctx *Context) error { return s.Child.Open(ctx) }
+func (s *Select) Open(ctx *Context) error {
+	s.Pred = expr.BindParams(s.Pred, ctx.Params)
+	return s.Child.Open(ctx)
+}
 
 // Next implements Operator.
 func (s *Select) Next(ctx *Context) (value.Row, bool, error) {
@@ -106,7 +109,10 @@ func NewColumnProject(child Operator, idx []int) *Project {
 func (p *Project) Schema() *schema.Schema { return p.Out }
 
 // Open implements Operator.
-func (p *Project) Open(ctx *Context) error { return p.Child.Open(ctx) }
+func (p *Project) Open(ctx *Context) error {
+	p.Exprs = expr.BindParamsList(p.Exprs, ctx.Params)
+	return p.Child.Open(ctx)
+}
 
 // Next implements Operator.
 func (p *Project) Next(ctx *Context) (value.Row, bool, error) {

@@ -161,6 +161,7 @@ func (s *ParallelScan) scanMorsel(wctx *Context, m morselRange) ([]value.Row, er
 // waits, absorbs every worker counter in morsel order, and concatenates
 // the buffered outputs in morsel order.
 func (s *ParallelScan) Open(ctx *Context) error {
+	s.Pred = expr.BindParams(s.Pred, ctx.Params) // before worker fan-out
 	s.rows = nil
 	s.pos = 0
 	ranges := morselRanges(s.Table.NumRows(), s.Table.RowsPerPage(), s.DOP)

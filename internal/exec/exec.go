@@ -59,6 +59,12 @@ type Context struct {
 	// bit-identical at every setting (see batch.go).
 	BatchSize int
 
+	// Params are the bind-parameter values for this execution. Operators
+	// holding expressions substitute them at Open via expr.BindParams, so
+	// a plan cached from one statement can execute any binding in its
+	// selectivity class. Empty for non-parameterized plans.
+	Params []value.Value
+
 	// ops collects the stats block of every Instrumented shim that ran
 	// under this context, in first-Open order.
 	ops []*OpStats

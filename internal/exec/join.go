@@ -39,6 +39,7 @@ func (j *NestedLoopJoin) Schema() *schema.Schema { return j.out }
 
 // Open implements Operator.
 func (j *NestedLoopJoin) Open(ctx *Context) error {
+	j.Pred = expr.BindParams(j.Pred, ctx.Params)
 	j.cur = nil
 	j.innerOpen = false
 	j.done = false
@@ -160,6 +161,7 @@ func (j *HashJoin) Schema() *schema.Schema { return j.out }
 
 // Open implements Operator.
 func (j *HashJoin) Open(ctx *Context) error {
+	j.Residual = expr.BindParams(j.Residual, ctx.Params)
 	j.table = make(map[string][]value.Row, j.BuildSizeHint)
 	j.probe = nil
 	j.bucket = nil
@@ -333,6 +335,7 @@ func mergeInput(ctx *Context, child Operator, keys []int, presorted bool) ([]val
 
 // Open implements Operator.
 func (j *MergeJoin) Open(ctx *Context) error {
+	j.Residual = expr.BindParams(j.Residual, ctx.Params)
 	var err error
 	j.lrows, err = mergeInput(ctx, j.Left, j.LeftKeys, j.LeftPresorted)
 	if err != nil {
@@ -465,6 +468,7 @@ func (j *IndexNLJoin) Schema() *schema.Schema { return j.out }
 
 // Open implements Operator.
 func (j *IndexNLJoin) Open(ctx *Context) error {
+	j.Residual = expr.BindParams(j.Residual, ctx.Params)
 	j.cur = nil
 	j.ids = nil
 	j.pos = 0
@@ -621,6 +625,7 @@ func (j *ParallelHashJoin) joinWorker(wctx *Context, build []value.Row, probe []
 // co-partition on the join keys, fan out, absorb worker counters, and
 // assemble the output in probe order.
 func (j *ParallelHashJoin) Open(ctx *Context) error {
+	j.Residual = expr.BindParams(j.Residual, ctx.Params) // before worker fan-out
 	j.results = nil
 	j.pos = 0
 	buildRows, err := Drain(ctx, j.Left)

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"filterjoin/internal/expr"
 	"filterjoin/internal/schema"
 	"filterjoin/internal/storage"
 	"filterjoin/internal/value"
@@ -82,9 +83,14 @@ type IndexLookup struct {
 	Table *storage.Table
 	Index *storage.HashIndex
 	Key   value.Row
-	sch   *schema.Schema
-	ids   []int
-	pos   int
+	// KeyExprs, when set, compute the key at Open (constant-foldable
+	// expressions only — typically bind parameters substituted from
+	// ctx.Params), overriding Key. This is how a cached plan's index
+	// probe follows the current parameter binding.
+	KeyExprs []expr.Expr
+	sch      *schema.Schema
+	ids      []int
+	pos      int
 }
 
 // NewIndexLookup builds an index lookup for a fixed key.
@@ -96,11 +102,33 @@ func NewIndexLookup(t *storage.Table, ix *storage.HashIndex, key value.Row, alia
 	return &IndexLookup{Table: t, Index: ix, Key: key, sch: s}
 }
 
+// NewIndexLookupExprs builds an index lookup whose key is computed at
+// Open from constant expressions (literals or bind parameters).
+func NewIndexLookupExprs(t *storage.Table, ix *storage.HashIndex, keyExprs []expr.Expr, alias string) *IndexLookup {
+	s := t.Schema()
+	if alias != "" {
+		s = s.Rename(alias)
+	}
+	return &IndexLookup{Table: t, Index: ix, KeyExprs: keyExprs, sch: s}
+}
+
 // Schema implements Operator.
 func (l *IndexLookup) Schema() *schema.Schema { return l.sch }
 
 // Open implements Operator.
 func (l *IndexLookup) Open(ctx *Context) error {
+	if len(l.KeyExprs) > 0 {
+		l.KeyExprs = expr.BindParamsList(l.KeyExprs, ctx.Params)
+		key := make(value.Row, len(l.KeyExprs))
+		for i, e := range l.KeyExprs {
+			v, err := e.Eval(nil)
+			if err != nil {
+				return err
+			}
+			key[i] = v
+		}
+		l.Key = key
+	}
 	ctx.Counter.PageReads++ // index probe
 	l.ids = l.Index.Lookup(l.Key)
 	ctx.Counter.PageReads += int64(storage.ProbePages(l.ids, l.Table.RowsPerPage()))

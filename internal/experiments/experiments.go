@@ -111,6 +111,7 @@ var Registry = []Entry{
 	{"E15", "Interesting orders: property memo and sort elision", E15SortElision},
 	{"E16", "Intra-query parallelism: wall-clock vs cost parity across DOP", E16ParallelExecution},
 	{"E17", "Fault-injected transport: retry recovery and graceful degradation", E17Robustness},
+	{"E18", "Serving throughput: plan cache hit rate and QPS, cached vs uncached", E18ServingThroughput},
 }
 
 // ByID finds an experiment by its id (case-insensitive).

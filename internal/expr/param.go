@@ -1,0 +1,194 @@
+package expr
+
+import (
+	"fmt"
+
+	"filterjoin/internal/value"
+)
+
+// Param is a bind-parameter slot: the i-th parameter of a prepared (or
+// auto-parameterized) statement. A Param carries the value it was planned
+// with (V, when Has is set) so the optimizer can estimate selectivities
+// and plan index probes exactly as it would for a literal; at execution
+// time BindParams substitutes the current binding from the execution
+// context, so one cached plan serves every value in its selectivity
+// class.
+type Param struct {
+	Idx int         // 0-based parameter position
+	V   value.Value // the planning-time value
+	Has bool        // false for an unbound (prepare-only) parameter
+}
+
+// Eval implements Expr. A bound Param behaves exactly like a literal of
+// its planning-time value — this is the fallback for plans executed
+// outside the serving layer (no ctx.Params); the serving layer always
+// rebinds via BindParams before evaluation.
+func (p Param) Eval(value.Row) (value.Value, error) {
+	if !p.Has {
+		return value.Null, fmt.Errorf("expr: unbound parameter ?%d", p.Idx+1)
+	}
+	return p.V, nil
+}
+
+// Shift implements Expr.
+func (p Param) Shift(int) Expr { return p }
+
+// CollectCols implements Expr.
+func (p Param) CollectCols(map[int]bool) {}
+
+// String implements Expr. A bound Param renders exactly like the literal
+// it was planned with, so plan displays (and their goldens) are
+// independent of whether a constant arrived as a literal or a binding;
+// an unbound Param renders as its placeholder.
+func (p Param) String() string {
+	if !p.Has {
+		return fmt.Sprintf("?%d", p.Idx+1)
+	}
+	return Lit{V: p.V}.String()
+}
+
+// HasParams reports whether e contains any Param node.
+func HasParams(e Expr) bool {
+	switch x := e.(type) {
+	case Param:
+		return true
+	case Cmp:
+		return HasParams(x.L) || HasParams(x.R)
+	case Arith:
+		return HasParams(x.L) || HasParams(x.R)
+	case Not:
+		return HasParams(x.Kid)
+	case And:
+		for _, k := range x.Kids {
+			if HasParams(k) {
+				return true
+			}
+		}
+	case Or:
+		for _, k := range x.Kids {
+			if HasParams(k) {
+				return true
+			}
+		}
+	default:
+		// Col, Lit: leaves without Param children.
+	}
+	return false
+}
+
+// CollectParams adds the index of every Param in e to set.
+func CollectParams(e Expr, set map[int]bool) {
+	switch x := e.(type) {
+	case Param:
+		set[x.Idx] = true
+	case Cmp:
+		CollectParams(x.L, set)
+		CollectParams(x.R, set)
+	case Arith:
+		CollectParams(x.L, set)
+		CollectParams(x.R, set)
+	case Not:
+		CollectParams(x.Kid, set)
+	case And:
+		for _, k := range x.Kids {
+			CollectParams(k, set)
+		}
+	case Or:
+		for _, k := range x.Kids {
+			CollectParams(k, set)
+		}
+	default:
+		// Col, Lit: leaves without Param children.
+	}
+}
+
+// BindParams returns e with every Param replaced by the literal value of
+// its current binding. Out-of-range slots keep the planning-time value
+// (Param evaluates as that literal). When e holds no Param, or no
+// bindings are supplied, e is returned unchanged, so the rewrite is free
+// for the non-parameterized plans that dominate operator Opens.
+func BindParams(e Expr, params []value.Value) Expr {
+	if e == nil || len(params) == 0 || !HasParams(e) {
+		return e
+	}
+	return rebind(e, params)
+}
+
+func rebind(e Expr, params []value.Value) Expr {
+	switch x := e.(type) {
+	case Param:
+		if x.Idx >= 0 && x.Idx < len(params) {
+			return Lit{V: params[x.Idx]}
+		}
+		return x
+	case Cmp:
+		return Cmp{Op: x.Op, L: rebind(x.L, params), R: rebind(x.R, params)}
+	case Arith:
+		return Arith{Op: x.Op, L: rebind(x.L, params), R: rebind(x.R, params)}
+	case Not:
+		return Not{Kid: rebind(x.Kid, params)}
+	case And:
+		kids := make([]Expr, len(x.Kids))
+		for i, k := range x.Kids {
+			kids[i] = rebind(k, params)
+		}
+		return And{Kids: kids}
+	case Or:
+		kids := make([]Expr, len(x.Kids))
+		for i, k := range x.Kids {
+			kids[i] = rebind(k, params)
+		}
+		return Or{Kids: kids}
+	default:
+		return e
+	}
+}
+
+// BindParamsList applies BindParams to each expression. The slice is
+// shared when no element holds a Param.
+func BindParamsList(es []Expr, params []value.Value) []Expr {
+	if len(params) == 0 {
+		return es
+	}
+	any := false
+	for _, e := range es {
+		if e != nil && HasParams(e) {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return es
+	}
+	out := make([]Expr, len(es))
+	for i, e := range es {
+		out[i] = BindParams(e, params)
+	}
+	return out
+}
+
+// BindAggs returns aggregate specs with every Arg rebound via BindParams.
+// The slice is shared when no spec holds a Param.
+func BindAggs(aggs []AggSpec, params []value.Value) []AggSpec {
+	if len(params) == 0 {
+		return aggs
+	}
+	any := false
+	for _, a := range aggs {
+		if a.Arg != nil && HasParams(a.Arg) {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return aggs
+	}
+	out := make([]AggSpec, len(aggs))
+	copy(out, aggs)
+	for i := range out {
+		if out[i].Arg != nil {
+			out[i].Arg = BindParams(out[i].Arg, params)
+		}
+	}
+	return out
+}

@@ -13,7 +13,6 @@ import (
 	"filterjoin/internal/schema"
 	"filterjoin/internal/stats"
 	"filterjoin/internal/storage"
-	"filterjoin/internal/value"
 )
 
 // RelInfo is the optimizer's per-relation working state for one block.
@@ -307,10 +306,27 @@ func conjuncts(e expr.Expr) []expr.Expr {
 	return []expr.Expr{e}
 }
 
-// indexAccessPlan looks for an equality conjunct `col = literal` on an
-// indexed column of the relation and builds an index-lookup leaf: one
-// index probe plus the matching pages, with the remaining conjuncts
-// applied on top. localLocal is the relation-local predicate.
+// constKeySide reports whether e can supply an index key at Open time: a
+// literal, or a bound parameter (whose current binding the lookup
+// resolves when it opens).
+func constKeySide(e expr.Expr) bool {
+	switch x := e.(type) {
+	case expr.Lit:
+		return true
+	case expr.Param:
+		return x.Has
+	default:
+		// Columns and compound expressions are row-dependent.
+		return false
+	}
+}
+
+// indexAccessPlan looks for an equality conjunct `col = constant` (a
+// literal or bound parameter) on an indexed column of the relation and
+// builds an index-lookup leaf: one index probe plus the matching pages,
+// with the remaining conjuncts applied on top. The key is resolved at
+// Open, so a cached parameterized plan probes with the current binding.
+// localLocal is the relation-local predicate.
 func (o *Optimizer) indexAccessPlan(ri *RelInfo, localLocal expr.Expr, alias string) (cost.Estimate, func() exec.Operator, string, bool) {
 	t := ri.Entry.Table
 	raw := ri.RawStats
@@ -321,19 +337,11 @@ func (o *Optimizer) indexAccessPlan(ri *RelInfo, localLocal expr.Expr, alias str
 			continue
 		}
 		var col expr.Col
-		var lit expr.Lit
-		if c, okc := cmp.L.(expr.Col); okc {
-			if l, okl := cmp.R.(expr.Lit); okl {
-				col, lit = c, l
-			} else {
-				continue
-			}
-		} else if c, okc := cmp.R.(expr.Col); okc {
-			if l, okl := cmp.L.(expr.Lit); okl {
-				col, lit = c, l
-			} else {
-				continue
-			}
+		var keyExpr expr.Expr
+		if c, okc := cmp.L.(expr.Col); okc && constKeySide(cmp.R) {
+			col, keyExpr = c, cmp.R
+		} else if c, okc := cmp.R.(expr.Col); okc && constKeySide(cmp.L) {
+			col, keyExpr = c, cmp.L
 		} else {
 			continue
 		}
@@ -360,9 +368,9 @@ func (o *Optimizer) indexAccessPlan(ri *RelInfo, localLocal expr.Expr, alias str
 			restPred = expr.NewAnd(rest...)
 			est.CPUTuples += k
 		}
-		key := value.Row{lit.V}
+		keyExprs := []expr.Expr{keyExpr}
 		mk := func() exec.Operator {
-			var op exec.Operator = exec.NewIndexLookup(t, ix, key, alias)
+			var op exec.Operator = exec.NewIndexLookupExprs(t, ix, keyExprs, alias)
 			if restPred != nil {
 				op = exec.NewSelect(op, restPred)
 			}

@@ -11,6 +11,7 @@ package opt
 
 import (
 	"fmt"
+	"sync"
 
 	"filterjoin/internal/catalog"
 	"filterjoin/internal/cost"
@@ -95,6 +96,13 @@ type Optimizer struct {
 	viewLeafCache map[string]*plan.Node
 	depth         int
 	tempSeq       int
+
+	// metricsMu guards concurrent MergeMetrics calls from sessions folding
+	// per-query fork counters back into a shared prototype optimizer. The
+	// rest of the struct is NOT protected: OptimizeBlock mutates depth,
+	// tempSeq and viewLeafCache and must run on a private fork when the
+	// optimizer is shared.
+	metricsMu sync.Mutex
 }
 
 // New creates an optimizer over cat with the given cost model.
@@ -171,6 +179,15 @@ func (o *Optimizer) Fork() *Optimizer {
 		f.StatsOverride[k] = v
 	}
 	return f
+}
+
+// MergeMetrics folds a forked optimizer's counters into this one under a
+// lock, so concurrent sessions optimizing on per-query forks can account
+// their search work against the shared prototype.
+func (o *Optimizer) MergeMetrics(m Metrics) {
+	o.metricsMu.Lock()
+	o.Metrics.Merge(m)
+	o.metricsMu.Unlock()
 }
 
 // OptimizeBlock optimizes a query block and returns the best physical

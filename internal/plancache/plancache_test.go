@@ -1,0 +1,84 @@
+package plancache
+
+import (
+	"fmt"
+	"testing"
+
+	"filterjoin/internal/plan"
+)
+
+func key(i int) Key { return Key{Text: fmt.Sprintf("q%d", i), Epoch: 1} }
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	p := &plan.Node{}
+	c.Put(key(1), &Entry{Plan: p})
+	c.Put(key(2), &Entry{Plan: p})
+	if _, ok := c.Get(key(1)); !ok {
+		t.Fatal("key 1 should be cached")
+	}
+	// Capacity 2: inserting key 3 evicts the least recently used (key 2,
+	// since key 1 was just touched).
+	c.Put(key(3), &Entry{Plan: p})
+	if _, ok := c.Get(key(2)); ok {
+		t.Error("key 2 should have been evicted")
+	}
+	if _, ok := c.Get(key(1)); !ok {
+		t.Error("key 1 was recently used and should survive")
+	}
+	if _, ok := c.Get(key(3)); !ok {
+		t.Error("key 3 was just inserted")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("Evictions = %d, want 1", st.Evictions)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+
+	// Replacing an existing key does not evict.
+	c.Put(key(1), &Entry{Plan: p, Cost: 7})
+	if c.Len() != 2 || c.Stats().Evictions != 1 {
+		t.Errorf("replace changed size/evictions: len=%d stats=%+v", c.Len(), c.Stats())
+	}
+	if e, _ := c.Get(key(1)); e.Cost != 7 {
+		t.Errorf("replace did not update the entry")
+	}
+}
+
+func TestClearPreservesLifetimeCounters(t *testing.T) {
+	c := New(4)
+	p := &plan.Node{}
+	c.Put(key(1), &Entry{Plan: p})
+	c.Get(key(1))
+	c.Get(key(2))
+	c.Bypass()
+	c.Clear()
+	st := c.Stats()
+	if c.Len() != 0 {
+		t.Errorf("Len after Clear = %d", c.Len())
+	}
+	if st.Hits != 1 || st.Misses != 1 || st.Bypasses != 1 || st.Clears != 1 {
+		t.Errorf("lifetime counters lost on Clear: %+v", st)
+	}
+	if hr := st.HitRate(); hr != 0.5 {
+		t.Errorf("HitRate = %v, want 0.5", hr)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	grid := []float64{0.02, 0.25, 0.6, 1.0}
+	for _, tc := range []struct {
+		sel  float64
+		want int
+	}{
+		{0, 0}, {0.02, 0}, {0.1, 1}, {0.25, 1}, {0.5, 2}, {0.99, 3}, {1.0, 3},
+		// Out-of-range estimates clamp to the last class.
+		{1.5, 3},
+	} {
+		if got := Classify(tc.sel, grid); got != tc.want {
+			t.Errorf("Classify(%v) = %d, want %d", tc.sel, got, tc.want)
+		}
+	}
+}

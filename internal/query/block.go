@@ -277,6 +277,8 @@ func exprType(e expr.Expr, s *schema.Schema) value.Kind {
 		}
 	case expr.Lit:
 		return p.V.Kind()
+	case expr.Param:
+		return p.V.Kind()
 	case expr.Arith:
 		return exprType(p.L, s)
 	case expr.Cmp, expr.And, expr.Or, expr.Not:

@@ -120,8 +120,13 @@ type ACall struct {
 	Arg  AExpr // nil when Star
 }
 
+// AParam is a bind-parameter placeholder: `?` (positional, numbered in
+// lexical order) or `$n` (explicit, 1-based in the text, 0-based here).
+type AParam struct{ Idx int }
+
 func (AColumn) aexpr() {}
 func (ALit) aexpr()    {}
 func (ABinary) aexpr() {}
 func (ANot) aexpr()    {}
 func (ACall) aexpr()   {}
+func (AParam) aexpr()  {}

@@ -7,6 +7,7 @@ import (
 	"filterjoin/internal/expr"
 	"filterjoin/internal/query"
 	"filterjoin/internal/schema"
+	"filterjoin/internal/value"
 )
 
 // BindSelect resolves a parsed SELECT against the given schema resolver
@@ -16,6 +17,13 @@ import (
 // be the grouping columns (in any order matching the GROUP BY set)
 // followed by the aggregate functions.
 func BindSelect(res query.SchemaResolver, st *SelectStmt) (*query.Block, error) {
+	return BindSelectArgs(res, st, nil)
+}
+
+// BindSelectArgs is BindSelect with bind-parameter values: every AParam
+// in the statement becomes an expr.Param planned with args[Idx] (or an
+// unbound Param when the index has no value, as in prepare-time EXPLAIN).
+func BindSelectArgs(res query.SchemaResolver, st *SelectStmt, args []value.Value) (*query.Block, error) {
 	b := &query.Block{Distinct: st.Distinct}
 	for _, r := range st.From {
 		b.Rels = append(b.Rels, query.RelRef{Name: r.Name, Alias: r.Alias})
@@ -27,7 +35,7 @@ func BindSelect(res query.SchemaResolver, st *SelectStmt) (*query.Block, error) 
 
 	if st.Where != nil {
 		for _, conj := range splitConjuncts(st.Where) {
-			e, err := bindExpr(conj, layout, false)
+			e, err := bindExpr(conj, layout, false, args)
 			if err != nil {
 				return nil, err
 			}
@@ -65,7 +73,7 @@ func BindSelect(res query.SchemaResolver, st *SelectStmt) (*query.Block, error) 
 		seenAgg := false
 		for _, it := range st.Items {
 			if call, ok := it.Expr.(ACall); ok {
-				spec, err := bindAgg(call, layout, it.Alias)
+				spec, err := bindAgg(call, layout, it.Alias, args)
 				if err != nil {
 					return nil, err
 				}
@@ -99,7 +107,7 @@ func BindSelect(res query.SchemaResolver, st *SelectStmt) (*query.Block, error) 
 
 	default:
 		for _, it := range st.Items {
-			e, err := bindExpr(it.Expr, layout, false)
+			e, err := bindExpr(it.Expr, layout, false, args)
 			if err != nil {
 				return nil, err
 			}
@@ -134,7 +142,7 @@ func BindSelect(res query.SchemaResolver, st *SelectStmt) (*query.Block, error) 
 			if containsCall(st.Having) {
 				return nil, fmt.Errorf("sql: reference aggregates in HAVING through their select-list aliases")
 			}
-			h, err := bindExpr(st.Having, outLayout, false)
+			h, err := bindExpr(st.Having, outLayout, false, args)
 			if err != nil {
 				return nil, fmt.Errorf("sql: in HAVING: %w", err)
 			}
@@ -206,7 +214,7 @@ func containsCall(e AExpr) bool {
 	}
 }
 
-func bindAgg(call ACall, layout *query.Layout, alias string) (expr.AggSpec, error) {
+func bindAgg(call ACall, layout *query.Layout, alias string, args []value.Value) (expr.AggSpec, error) {
 	kind, ok := expr.AggKindByName(call.Name)
 	if !ok {
 		return expr.AggSpec{}, fmt.Errorf("sql: unknown aggregate function %q", call.Name)
@@ -221,7 +229,7 @@ func bindAgg(call ACall, layout *query.Layout, alias string) (expr.AggSpec, erro
 		}
 		return spec, nil
 	}
-	arg, err := bindExpr(call.Arg, layout, false)
+	arg, err := bindExpr(call.Arg, layout, false, args)
 	if err != nil {
 		return expr.AggSpec{}, err
 	}
@@ -232,7 +240,7 @@ func bindAgg(call ACall, layout *query.Layout, alias string) (expr.AggSpec, erro
 	return spec, nil
 }
 
-func bindExpr(e AExpr, layout *query.Layout, inAgg bool) (expr.Expr, error) {
+func bindExpr(e AExpr, layout *query.Layout, inAgg bool, args []value.Value) (expr.Expr, error) {
 	switch x := e.(type) {
 	case AColumn:
 		idx, err := layout.Schema.IndexOf(x.Table, x.Name)
@@ -242,8 +250,14 @@ func bindExpr(e AExpr, layout *query.Layout, inAgg bool) (expr.Expr, error) {
 		return expr.NewCol(idx, layout.Schema.Col(idx).QualifiedName()), nil
 	case ALit:
 		return expr.NewLit(x.V), nil
+	case AParam:
+		pv := expr.Param{Idx: x.Idx}
+		if x.Idx >= 0 && x.Idx < len(args) {
+			pv.V, pv.Has = args[x.Idx], true
+		}
+		return pv, nil
 	case ANot:
-		kid, err := bindExpr(x.X, layout, inAgg)
+		kid, err := bindExpr(x.X, layout, inAgg, args)
 		if err != nil {
 			return nil, err
 		}
@@ -251,11 +265,11 @@ func bindExpr(e AExpr, layout *query.Layout, inAgg bool) (expr.Expr, error) {
 	case ACall:
 		return nil, fmt.Errorf("sql: aggregate %q not allowed here", x.Name)
 	case ABinary:
-		l, err := bindExpr(x.L, layout, inAgg)
+		l, err := bindExpr(x.L, layout, inAgg, args)
 		if err != nil {
 			return nil, err
 		}
-		r, err := bindExpr(x.R, layout, inAgg)
+		r, err := bindExpr(x.R, layout, inAgg, args)
 		if err != nil {
 			return nil, err
 		}

@@ -131,7 +131,17 @@ func lex(src string) ([]token, error) {
 			} else {
 				return nil, fmt.Errorf("sql: unexpected '!' at offset %d", start)
 			}
-		case strings.ContainsRune("(),.*+-/=;", rune(ch)):
+		case ch == '$':
+			// $n bind-parameter placeholder.
+			l.pos++
+			if l.pos >= len(l.src) || l.src[l.pos] < '0' || l.src[l.pos] > '9' {
+				return nil, fmt.Errorf("sql: expected digits after '$' at offset %d", start)
+			}
+			for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokSymbol, text: l.src[start:l.pos], pos: start})
+		case strings.ContainsRune("(),.*+-/=;?", rune(ch)):
 			l.pos++
 			l.toks = append(l.toks, token{kind: tokSymbol, text: string(ch), pos: start})
 		default:

@@ -1,0 +1,126 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"filterjoin/internal/value"
+)
+
+func parseSel(t *testing.T, text string) *SelectStmt {
+	t.Helper()
+	st, err := Parse(text)
+	if err != nil {
+		t.Fatalf("parse %q: %v", text, err)
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		t.Fatalf("parse %q: got %T, want *SelectStmt", text, st)
+	}
+	return sel
+}
+
+func TestParsePlaceholders(t *testing.T) {
+	// `?` placeholders auto-number left to right.
+	sel := parseSel(t, `SELECT E.a FROM T E WHERE E.a < ? AND E.b = ?`)
+	n, err := NumParams(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("?-style NumParams = %d, want 2", n)
+	}
+	if !HasParams(sel) {
+		t.Errorf("HasParams = false for a parameterized statement")
+	}
+
+	// `$n` placeholders are explicit and may repeat or appear out of order.
+	sel2 := parseSel(t, `SELECT E.a FROM T E WHERE E.a < $2 AND E.b = $1 AND E.c = $1`)
+	n2, err := NumParams(sel2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != 2 {
+		t.Errorf("$n-style NumParams = %d, want 2", n2)
+	}
+
+	// Gap in the slot numbering is a validation error.
+	sel3 := parseSel(t, `SELECT E.a FROM T E WHERE E.a < $1 AND E.b = $3`)
+	if _, err := NumParams(sel3); err == nil {
+		t.Errorf("NumParams accepted $1,$3 with no $2")
+	}
+
+	if HasParams(parseSel(t, `SELECT E.a FROM T E WHERE E.a < 3`)) {
+		t.Errorf("HasParams = true for a literal-only statement")
+	}
+}
+
+func TestNormalizeExtractsWhereLiterals(t *testing.T) {
+	sel := parseSel(t, `SELECT E.a, E.b FROM T E WHERE E.a < 30 AND E.b = 'x' AND E.c > E.d`)
+	orig := FormatSelect(sel)
+	norm, vals, ok := Normalize(sel)
+	if !ok {
+		t.Fatal("Normalize returned ok=false for a literal statement")
+	}
+	if len(vals) != 2 {
+		t.Fatalf("extracted %d values, want 2 (col-vs-col conjunct has no constant)", len(vals))
+	}
+	if v, _ := vals[0].AsFloat(); v != 30 {
+		t.Errorf("vals[0] = %v, want 30", vals[0])
+	}
+	if vals[1].Str() != "x" {
+		t.Errorf("vals[1] = %v, want 'x'", vals[1])
+	}
+	text := FormatSelect(norm)
+	if !strings.Contains(text, "$1") || !strings.Contains(text, "$2") {
+		t.Errorf("normalized text lacks slots: %s", text)
+	}
+	if strings.Contains(text, "30") || strings.Contains(text, "'x'") {
+		t.Errorf("normalized text still carries literals: %s", text)
+	}
+	// The input statement is not mutated.
+	if got := FormatSelect(sel); got != orig {
+		t.Errorf("Normalize mutated its input: %s", got)
+	}
+
+	// Literal-vs-literal and literals outside WHERE comparisons are left
+	// alone: they shape the plan or the output, not a selectivity.
+	sel2 := parseSel(t, `SELECT E.a FROM T E WHERE 1 = 1 GROUP BY E.a HAVING COUNT(*) > 5 LIMIT 7`)
+	_, vals2, ok2 := Normalize(sel2)
+	if !ok2 {
+		t.Fatal("Normalize ok=false")
+	}
+	if len(vals2) != 0 {
+		t.Errorf("extracted %d values from non-selection literals, want 0", len(vals2))
+	}
+}
+
+func TestNormalizeSkipsExplicitParams(t *testing.T) {
+	sel := parseSel(t, `SELECT E.a FROM T E WHERE E.a < ? AND E.b = 3`)
+	norm, vals, ok := Normalize(sel)
+	if ok {
+		t.Errorf("Normalize ok=true for prepared text; the two numbering schemes must not mix")
+	}
+	if norm != sel || vals != nil {
+		t.Errorf("Normalize should return the input untouched for prepared text")
+	}
+}
+
+func TestFormatSelectCanonicalizes(t *testing.T) {
+	a := parseSel(t, "select  E.a   from T E where E.a<30   and E.b =  2")
+	b := parseSel(t, `SELECT E.a FROM T E WHERE (E.a < 30) AND (E.b = 2)`)
+	na, va, _ := Normalize(a)
+	nb, vb, _ := Normalize(b)
+	if FormatSelect(na) != FormatSelect(nb) {
+		t.Errorf("spellings of one statement canonicalize differently:\n%s\n%s",
+			FormatSelect(na), FormatSelect(nb))
+	}
+	if len(va) != 2 || len(vb) != 2 {
+		t.Fatalf("extraction counts differ: %d vs %d", len(va), len(vb))
+	}
+	for i := range va {
+		if value.Compare(va[i], vb[i]) != 0 {
+			t.Errorf("extracted value %d differs: %v vs %v", i, va[i], vb[i])
+		}
+	}
+}

@@ -11,6 +11,10 @@ import (
 type parser struct {
 	toks []token
 	pos  int
+	// nextParam auto-numbers `?` placeholders in lexical order across the
+	// whole parse (statements share one sequence, matching Prepare's
+	// argument list).
+	nextParam int
 }
 
 // Parse parses one SQL statement (an optional trailing semicolon is
@@ -608,6 +612,20 @@ func (p *parser) mulExpr() (AExpr, error) {
 func (p *parser) unaryExpr() (AExpr, error) {
 	t := p.peek()
 	switch {
+	case t.kind == tokSymbol && t.text == "?":
+		p.pos++
+		idx := p.nextParam
+		p.nextParam++
+		return AParam{Idx: idx}, nil
+
+	case t.kind == tokSymbol && strings.HasPrefix(t.text, "$"):
+		p.pos++
+		n, err := strconv.Atoi(t.text[1:])
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("sql: bad parameter placeholder %q", t.text)
+		}
+		return AParam{Idx: n - 1}, nil
+
 	case t.kind == tokNumber || t.kind == tokString ||
 		(t.kind == tokSymbol && t.text == "-") ||
 		(t.kind == tokIdent && isLiteralIdent(t.text)):

@@ -286,15 +286,40 @@ func Selectivity(e expr.Expr, s *RelStats) float64 {
 			return 0
 		}
 		return 1
+	case expr.Param:
+		// A bound parameter is the literal it was planned with.
+		if p.Has && p.V.Kind() == value.KindBool {
+			if p.V.Bool() {
+				return 1
+			}
+			return 0
+		}
+		return 1
 	default:
 		return 1.0 / 3.0
 	}
 }
 
+// asConst extracts the constant side of a comparison: a literal, or a
+// bound parameter behaving as the literal it was planned with.
+func asConst(e expr.Expr) (expr.Lit, bool) {
+	switch x := e.(type) {
+	case expr.Lit:
+		return x, true
+	case expr.Param:
+		if x.Has {
+			return expr.Lit{V: x.V}, true
+		}
+	default:
+		// Columns and compound expressions are not constants.
+	}
+	return expr.Lit{}, false
+}
+
 func cmpSelectivity(p expr.Cmp, s *RelStats) float64 {
-	// Column vs literal in either order.
+	// Column vs literal (or bound parameter) in either order.
 	if col, ok := p.L.(expr.Col); ok {
-		if lit, ok2 := p.R.(expr.Lit); ok2 {
+		if lit, ok2 := asConst(p.R); ok2 {
 			return colLitSelectivity(p.Op, col, lit, s)
 		}
 		if rcol, ok2 := p.R.(expr.Col); ok2 {
@@ -306,7 +331,7 @@ func cmpSelectivity(p expr.Cmp, s *RelStats) float64 {
 		}
 	}
 	if col, ok := p.R.(expr.Col); ok {
-		if lit, ok2 := p.L.(expr.Lit); ok2 {
+		if lit, ok2 := asConst(p.L); ok2 {
 			return colLitSelectivity(flipOp(p.Op), col, lit, s)
 		}
 	}

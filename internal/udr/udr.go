@@ -63,6 +63,7 @@ func (j *ProbeJoin) Schema() *schema.Schema { return j.out }
 
 // Open implements exec.Operator.
 func (j *ProbeJoin) Open(ctx *exec.Context) error {
+	j.Residual = expr.BindParams(j.Residual, ctx.Params)
 	j.cache = map[string][]value.Row{}
 	j.cur = nil
 	j.batch = nil

@@ -1,0 +1,529 @@
+package filterjoin_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	filterjoin "filterjoin"
+	"filterjoin/internal/cost"
+	"filterjoin/internal/value"
+)
+
+// servingDB builds the quickstart catalog (tables, index, magic view)
+// with the serving-layer defaults, optionally with the plan cache off.
+func servingDB(t *testing.T, cacheOff bool) *filterjoin.DB {
+	t.Helper()
+	db := filterjoin.Open(filterjoin.Config{BatchSize: 1024, DisablePlanCache: cacheOff})
+	if err := db.ExecScript(`
+		CREATE TABLE Emp (eid int, did int, sal float, age int);
+		CREATE TABLE Dept (did int, budget int);
+		CREATE INDEX emp_did ON Emp (did);
+		CREATE VIEW DepAvgSal AS
+		  (SELECT E.did, AVG(E.sal) AS avgsal FROM Emp E GROUP BY E.did);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	b.WriteString("INSERT INTO Emp VALUES ")
+	const nEmp, nDept = 3000, 100
+	for i := 0; i < nEmp; i++ {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		age := 31 + (i*13)%30
+		if i%4 == 0 {
+			age = 21 + i%9
+		}
+		fmt.Fprintf(&b, "(%d,%d,%d.0,%d)", i, i*nDept/nEmp, 1000+(i*37)%5000, age)
+	}
+	b.WriteString("; INSERT INTO Dept VALUES ")
+	for d := 0; d < nDept; d++ {
+		if d > 0 {
+			b.WriteString(",")
+		}
+		budget := 20000 + (d*211)%70000
+		if d%20 == 0 {
+			budget = 150000
+		}
+		fmt.Fprintf(&b, "(%d,%d)", d, budget)
+	}
+	b.WriteString(";")
+	if err := db.ExecScript(b.String()); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func rowsKey(rows []value.Row) string {
+	var b strings.Builder
+	for _, r := range rows {
+		b.WriteString(r.FullKey())
+		b.WriteString("|")
+	}
+	return b.String()
+}
+
+const servingViewQuery = `
+	SELECT E.did, E.sal, V.avgsal
+	FROM Emp E, Dept D, DepAvgSal V
+	WHERE E.did = D.did AND E.did = V.did AND E.sal > V.avgsal
+	  AND E.age < 30 AND D.budget > 100000`
+
+func TestPlanCacheHitMissBypass(t *testing.T) {
+	db := servingDB(t, false)
+
+	r1, err := db.Query(servingViewQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.CacheState != "miss" {
+		t.Errorf("first run CacheState = %q, want miss", r1.CacheState)
+	}
+	r2, err := db.Query(servingViewQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.CacheState != "hit" {
+		t.Errorf("second run CacheState = %q, want hit", r2.CacheState)
+	}
+	if rowsKey(r1.Rows) != rowsKey(r2.Rows) {
+		t.Errorf("hit returned different rows than miss")
+	}
+	if r1.Cost != r2.Cost {
+		t.Errorf("hit counters %+v differ from miss counters %+v", r2.Cost, r1.Cost)
+	}
+
+	// Textually different literal in the same selectivity class: the
+	// normalizer parameterizes it, so the entry is shared.
+	r3, err := db.Query(strings.Replace(servingViewQuery, "E.age < 30", "E.age  <  30", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.CacheState != "hit" {
+		t.Errorf("respaced query CacheState = %q, want hit", r3.CacheState)
+	}
+
+	st := db.CacheStats()
+	if st.Hits < 2 || st.Misses < 1 {
+		t.Errorf("cache stats = %+v, want >=2 hits and >=1 miss", st)
+	}
+
+	// Programmatic plans bypass the cache.
+	p, err := db.Plan(servingViewQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := db.RunPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowsKey(rp.Rows) != rowsKey(r1.Rows) {
+		t.Errorf("RunPlan rows differ from cached rows")
+	}
+
+	// A cache-disabled engine reports bypass on every run.
+	off := servingDB(t, true)
+	ro, err := off.Query(servingViewQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ro.CacheState != "bypass" {
+		t.Errorf("cache-off CacheState = %q, want bypass", ro.CacheState)
+	}
+	if so := off.CacheStats(); so.Bypasses == 0 || so.Hits != 0 || so.Misses != 0 {
+		t.Errorf("cache-off stats = %+v, want bypasses only", so)
+	}
+}
+
+func TestPreparedStatements(t *testing.T) {
+	db := servingDB(t, false)
+
+	stmt, err := db.Prepare(`SELECT E.eid, E.age FROM Emp E WHERE E.age < ? AND E.did = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.NumParams() != 2 {
+		t.Fatalf("NumParams = %d, want 2", stmt.NumParams())
+	}
+	r1, err := stmt.Exec(25, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-check against the literal spelling.
+	want, err := db.Query(`SELECT E.eid, E.age FROM Emp E WHERE E.age < 25 AND E.did = 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowsKey(r1.Rows) != rowsKey(want.Rows) {
+		t.Errorf("prepared rows differ from literal rows")
+	}
+
+	// Re-execution with a different binding in the same class hits, and
+	// the rows reflect the NEW binding — the stale-plan trap the
+	// bind-at-Open design exists to avoid.
+	r2, err := stmt.Exec(23, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.CacheState != "hit" {
+		t.Errorf("re-exec CacheState = %q, want hit", r2.CacheState)
+	}
+	want2, err := servingDB(t, true).Query(`SELECT E.eid, E.age FROM Emp E WHERE E.age < 23 AND E.did = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowsKey(r2.Rows) != rowsKey(want2.Rows) {
+		t.Errorf("rebound execution returned stale rows")
+	}
+
+	// Explicit $n placeholders, out of order.
+	st2, err := db.Prepare(`SELECT E.eid FROM Emp E WHERE E.age < $2 AND E.did = $1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := st2.Exec(2, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want3, err := db.Query(`SELECT E.eid FROM Emp E WHERE E.age < 24 AND E.did = 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowsKey(r3.Rows) != rowsKey(want3.Rows) {
+		t.Errorf("$n binding mismatch")
+	}
+
+	// Error paths.
+	if _, err := stmt.Exec(25); err == nil {
+		t.Errorf("wrong arg count should fail")
+	}
+	if _, err := stmt.Exec(25, 0, 1); err == nil {
+		t.Errorf("extra args should fail")
+	}
+	if _, err := stmt.Exec(struct{}{}, 0); err == nil {
+		t.Errorf("unsupported arg type should fail")
+	}
+	if _, err := db.Prepare(`CREATE TABLE nope (a int)`); err == nil {
+		t.Errorf("Prepare of DDL should fail")
+	}
+	if _, err := db.Prepare(`SELECT E.eid FROM Emp E WHERE E.age < $1 AND E.did = $3`); err == nil {
+		t.Errorf("non-contiguous $n slots should fail at Prepare")
+	}
+	if _, err := db.Query(`SELECT E.eid FROM Emp E WHERE E.age < 25`, 99); err == nil {
+		t.Errorf("args against a placeholder-free query should fail")
+	}
+}
+
+// TestPlanCacheInvalidationOnDDL pins the satellite requirement: a cached
+// plan must not survive CREATE INDEX or a data change — the re-optimized
+// plan must see the new physical design.
+func TestPlanCacheInvalidationOnDDL(t *testing.T) {
+	db := filterjoin.Open(filterjoin.Config{BatchSize: 1024})
+	if err := db.ExecScript(`CREATE TABLE Emp (eid int, did int, sal float, age int);`); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	b.WriteString("INSERT INTO Emp VALUES ")
+	for i := 0; i < 2000; i++ {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, "(%d,%d,%d.0,%d)", i, i%100, 1000+i%500, 20+i%40)
+	}
+	b.WriteString(";")
+	if err := db.ExecScript(b.String()); err != nil {
+		t.Fatal(err)
+	}
+
+	const q = `SELECT E.eid FROM Emp E WHERE E.did = 7`
+	epoch0 := db.Engine().Epoch()
+	r1, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.CacheState != "miss" {
+		t.Fatalf("first run = %q, want miss", r1.CacheState)
+	}
+	if r2, _ := db.Query(q); r2.CacheState != "hit" {
+		t.Fatalf("second run = %q, want hit", r2.CacheState)
+	}
+	before, err := db.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(before, "IndexLookup") {
+		t.Fatalf("no index exists yet, but plan probes one:\n%s", before)
+	}
+
+	if _, err := db.Exec(`CREATE INDEX emp_did ON Emp (did)`); err != nil {
+		t.Fatal(err)
+	}
+	if db.Engine().Epoch() == epoch0 {
+		t.Errorf("CREATE INDEX did not bump the catalog epoch")
+	}
+	r3, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.CacheState != "miss" {
+		t.Errorf("post-DDL run = %q, want miss (stale plan served)", r3.CacheState)
+	}
+	if rowsKey(r3.Rows) != rowsKey(r1.Rows) {
+		t.Errorf("rows changed across CREATE INDEX")
+	}
+	after, err := db.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(after, "IndexLookup") {
+		t.Errorf("re-optimized plan ignores the new index:\n%s", after)
+	}
+
+	// A data change (stat refresh) also drops cached plans.
+	if _, err := db.Exec(`INSERT INTO Emp VALUES (99999, 7, 1234.0, 33)`); err != nil {
+		t.Fatal(err)
+	}
+	r4, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.CacheState != "miss" {
+		t.Errorf("post-INSERT run = %q, want miss", r4.CacheState)
+	}
+	if len(r4.Rows) != len(r1.Rows)+1 {
+		t.Errorf("post-INSERT rows = %d, want %d", len(r4.Rows), len(r1.Rows)+1)
+	}
+}
+
+// TestClassBoundaryReoptimizes pins the honesty property of the
+// selectivity-class key: a binding inside the cached class is served
+// without touching the optimizer, while a binding in a different class
+// of the Fig 5 grid provably re-optimizes (the prototype's
+// PlansConsidered moves).
+func TestClassBoundaryReoptimizes(t *testing.T) {
+	db := servingDB(t, false)
+	stmt, err := db.Prepare(`SELECT E.eid FROM Emp E WHERE E.age < ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// age < 25 retains ~11% of Emp; with the default grid
+	// {0.02, 0.25, 0.6, 1.0} that is solidly inside the (0.02, 0.25]
+	// class. age < 100 retains every row (class of selectivity 1.0).
+	if r, err := stmt.Exec(25); err != nil {
+		t.Fatal(err)
+	} else if r.CacheState != "miss" {
+		t.Fatalf("first exec = %q, want miss", r.CacheState)
+	}
+
+	flat := db.Optimizer().Metrics.PlansConsidered
+	r2, err := stmt.Exec(27) // same class: ~17% selectivity
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.CacheState != "hit" {
+		t.Errorf("same-class exec = %q, want hit", r2.CacheState)
+	}
+	if got := db.Optimizer().Metrics.PlansConsidered; got != flat {
+		t.Errorf("hit moved PlansConsidered %d -> %d: silent re-optimization", flat, got)
+	}
+
+	r3, err := stmt.Exec(100) // selectivity ~1.0: different class
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.CacheState != "miss" {
+		t.Errorf("cross-class exec = %q, want miss (dishonest reuse)", r3.CacheState)
+	}
+	if got := db.Optimizer().Metrics.PlansConsidered; got <= flat {
+		t.Errorf("cross-class miss did not re-optimize (PlansConsidered still %d)", got)
+	}
+	if len(r3.Rows) != 3000 {
+		t.Errorf("age < 100 rows = %d, want all 3000", len(r3.Rows))
+	}
+
+	// Both classes now cached: each serves hits independently.
+	if r, _ := stmt.Exec(26); r.CacheState != "hit" {
+		t.Errorf("low class lost its entry")
+	}
+	if r, _ := stmt.Exec(99); r.CacheState != "hit" {
+		t.Errorf("high class was not cached")
+	}
+}
+
+// TestCachedUncachedDifferential is the acceptance criterion: over a
+// corpus of queries (including the paper's magic-view join), cached
+// execution — both the miss that populates an entry and the hit that
+// reuses it — returns bit-identical rows AND cost-counter totals to an
+// engine with the cache disabled.
+func TestCachedUncachedDifferential(t *testing.T) {
+	cached := servingDB(t, false)
+	uncached := servingDB(t, true)
+
+	corpus := []string{
+		servingViewQuery,
+		`SELECT E.eid, E.sal FROM Emp E WHERE E.age < 25`,
+		`SELECT E.eid FROM Emp E WHERE E.did = 11`,
+		`SELECT E.did, COUNT(*) AS n, AVG(E.sal) AS avg FROM Emp E WHERE E.age < 40 GROUP BY E.did`,
+		`SELECT E.did, E.sal, F.sal FROM Emp E, Emp F WHERE E.did = F.did AND E.age < 23 ORDER BY E.did`,
+		`SELECT DISTINCT E.did FROM Emp E, Dept D WHERE E.did = D.did AND D.budget > 100000`,
+		`SELECT E.eid FROM Emp E WHERE E.age < 30 AND E.sal > 4000.0 LIMIT 10`,
+		`SELECT D.did, V.avgsal FROM Dept D, DepAvgSal V WHERE D.did = V.did AND D.budget > 140000`,
+	}
+	for i, q := range corpus {
+		base, err := uncached.Query(q)
+		if err != nil {
+			t.Fatalf("query %d uncached: %v", i, err)
+		}
+		miss, err := cached.Query(q)
+		if err != nil {
+			t.Fatalf("query %d miss: %v", i, err)
+		}
+		hit, err := cached.Query(q)
+		if err != nil {
+			t.Fatalf("query %d hit: %v", i, err)
+		}
+		if miss.CacheState != "miss" || hit.CacheState != "hit" {
+			t.Fatalf("query %d states = %q/%q, want miss/hit", i, miss.CacheState, hit.CacheState)
+		}
+		for _, r := range []*filterjoin.Result{miss, hit} {
+			if rowsKey(r.Rows) != rowsKey(base.Rows) {
+				t.Errorf("query %d (%s): rows diverge from uncached run", i, r.CacheState)
+			}
+			if r.Cost != base.Cost {
+				t.Errorf("query %d (%s): counters %+v != uncached %+v", i, r.CacheState, r.Cost, base.Cost)
+			}
+		}
+	}
+}
+
+// TestConcurrentSessionsDifferential runs a mixed Query/Prepare/Exec
+// workload from N goroutine sessions against one engine — including
+// catalog-mutating inserts into a scratch table that clear the cache
+// mid-flight — and checks every result against the serial answers.
+// CI runs this under -race.
+func TestConcurrentSessionsDifferential(t *testing.T) {
+	db := servingDB(t, false)
+	if err := db.ExecScript(`CREATE TABLE Scratch (k int, v int);`); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{
+		servingViewQuery,
+		`SELECT E.eid, E.sal FROM Emp E WHERE E.age < 25`,
+		`SELECT E.did, COUNT(*) AS n FROM Emp E GROUP BY E.did`,
+		`SELECT E.eid FROM Emp E WHERE E.did = 42`,
+		`SELECT D.did, V.avgsal FROM Dept D, DepAvgSal V WHERE D.did = V.did AND D.budget > 140000`,
+	}
+	want := make([]string, len(queries))
+	for i, q := range queries {
+		r, err := db.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = rowsKey(r.Rows)
+	}
+
+	const workers = 8
+	const iters = 12
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := db.NewSession()
+			stmt, err := sess.Prepare(`SELECT E.eid FROM Emp E WHERE E.age < ? AND E.did = ?`)
+			if err != nil {
+				errc <- err
+				return
+			}
+			for it := 0; it < iters; it++ {
+				qi := (w + it) % len(queries)
+				r, err := sess.Query(queries[qi])
+				if err != nil {
+					errc <- fmt.Errorf("worker %d query %d: %w", w, qi, err)
+					return
+				}
+				if rowsKey(r.Rows) != want[qi] {
+					errc <- fmt.Errorf("worker %d query %d: rows diverge from serial run (state=%s)", w, qi, r.CacheState)
+					return
+				}
+				if _, err := stmt.Exec(22+it%5, w); err != nil {
+					errc <- fmt.Errorf("worker %d stmt: %w", w, err)
+					return
+				}
+				if it%4 == 3 {
+					// Catalog mutation from a concurrent session: takes the
+					// write lock, bumps the epoch, clears the cache. Queries
+					// on Emp/Dept stay row-identical throughout.
+					if _, err := sess.Exec(fmt.Sprintf(`INSERT INTO Scratch VALUES (%d, %d)`, w, it)); err != nil {
+						errc <- fmt.Errorf("worker %d insert: %w", w, err)
+						return
+					}
+				}
+			}
+			errc <- nil
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The scratch inserts all landed.
+	r, err := db.Query(`SELECT S.k FROM Scratch S`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantRows := workers * (iters / 4); len(r.Rows) != wantRows {
+		t.Errorf("scratch rows = %d, want %d", len(r.Rows), wantRows)
+	}
+	if st := db.CacheStats(); st.Clears == 0 || st.Hits == 0 {
+		t.Errorf("workload should have produced both cache clears and hits: %+v", st)
+	}
+}
+
+// TestPreparedExplainGolden pins the prepared-statement EXPLAIN shapes:
+// bound (plan for the actual bindings, cache banner) and unbound (the
+// generic plan with `?N` placeholders, cache=bypass).
+func TestPreparedExplainGolden(t *testing.T) {
+	db := servingDB(t, false)
+	stmt, err := db.Prepare(`SELECT E.eid, E.age FROM Emp E WHERE E.age < $1 AND E.did = $2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unbound, err := stmt.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(unbound, "cache=bypass") {
+		t.Errorf("unbound explain should bypass the cache:\n%s", unbound)
+	}
+	checkGolden(t, "prepared_explain_unbound", unbound)
+
+	bound, err := stmt.Explain(25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(bound, "cache=miss") {
+		t.Errorf("first bound explain should miss:\n%s", bound)
+	}
+	checkGolden(t, "prepared_explain_bound", bound)
+
+	// EXPLAIN populated the cache: executing the same bindings now hits.
+	r, err := stmt.Exec(25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CacheState != "hit" {
+		t.Errorf("exec after explain = %q, want hit", r.CacheState)
+	}
+}
+
+var _ = cost.Counter{} // keep the import for the differential assertions
