@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// seedModule writes a throwaway module containing one lockepoch
+// violation (an engine-shaped struct whose field is written without the
+// write lock) and chdirs into it for the duration of the test.
+func seedModule(t *testing.T) {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module scratch\n\ngo 1.22\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	src := `package scratch
+
+import "sync"
+
+type engine struct {
+	mu    sync.RWMutex
+	epoch uint64
+	stats int
+}
+
+func (e *engine) setStats(v int) {
+	e.stats = v
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "eng.go"), []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = os.Chdir(wd) })
+}
+
+// capture runs fn with os.Stdout redirected to a buffer.
+func capture(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var b bytes.Buffer
+		_, _ = b.ReadFrom(r)
+		done <- b.String()
+	}()
+	fn()
+	os.Stdout = old
+	_ = w.Close()
+	return <-done
+}
+
+func TestGHAnnotationFormat(t *testing.T) {
+	seedModule(t)
+	var code int
+	out := capture(t, func() { code = run([]string{"-gh", "./..."}) })
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\noutput: %s", code, out)
+	}
+	if !strings.Contains(out, "::error file=eng.go,line=") {
+		t.Errorf("missing GitHub annotation prefix in output:\n%s", out)
+	}
+	if !strings.Contains(out, "title=optlint/lockepoch::") {
+		t.Errorf("annotation does not name the analyzer:\n%s", out)
+	}
+}
+
+func TestJSONFormat(t *testing.T) {
+	seedModule(t)
+	var code int
+	out := capture(t, func() { code = run([]string{"-json", "./..."}) })
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\noutput: %s", code, out)
+	}
+	var findings []finding
+	if err := json.Unmarshal([]byte(out), &findings); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	if len(findings) == 0 {
+		t.Fatal("expected at least one finding")
+	}
+	f := findings[0]
+	if f.File != "eng.go" || f.Line == 0 || f.Analyzer != "lockepoch" || f.Message == "" {
+		t.Errorf("finding fields wrong: %+v", f)
+	}
+}
+
+func TestGHEscape(t *testing.T) {
+	got := ghEscape("a%b\r\nc")
+	if got != "a%25b%0D%0Ac" {
+		t.Errorf("ghEscape = %q", got)
+	}
+}
+
+func TestJSONAndGHExclusive(t *testing.T) {
+	if code := run([]string{"-json", "-gh", "./..."}); code != 2 {
+		t.Errorf("exit = %d, want 2 for -json with -gh", code)
+	}
+}

@@ -191,10 +191,14 @@ func (e *Engine) execDDL(st sql.Statement) (*Result, error) {
 			}
 			idx[i] = j
 		}
-		if _, err := ent.Table.CreateIndex(s.Name, idx); err != nil {
-			return nil, err
-		}
+		// Invalidate before inspecting the error: a failed build may
+		// still have touched table metadata, and a spurious epoch bump
+		// on a rejected DDL is harmless.
+		_, idxErr := ent.Table.CreateIndex(s.Name, idx)
 		e.invalidateLocked()
+		if idxErr != nil {
+			return nil, idxErr
+		}
 		return nil, nil
 
 	case *sql.CreateView:
@@ -219,6 +223,10 @@ func (e *Engine) execDDL(st sql.Statement) (*Result, error) {
 		}
 		for _, r := range s.Rows {
 			if err := ent.Table.Insert(value.Row(r)); err != nil {
+				// Rows inserted before the failure are visible; stale
+				// stats and cached plans must not survive them.
+				ent.InvalidateStats()
+				e.invalidateLocked()
 				return nil, err
 			}
 		}
@@ -591,8 +599,10 @@ func (e *Engine) planBlock(b *query.Block) (*plan.Node, error) {
 	return e.proto.OptimizeBlock(b)
 }
 
-// runPlanLocked executes an already-optimized plan under the read lock.
-func (e *Engine) runPlanLocked(stdctx context.Context, p *plan.Node) (*Result, error) {
+// runPlanShared executes an already-optimized plan under the read lock,
+// which it acquires itself (so it is not a *Locked helper: callers must
+// NOT hold the mutex).
+func (e *Engine) runPlanShared(stdctx context.Context, p *plan.Node) (*Result, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.runPlan(stdctx, p, nil)

@@ -1,0 +1,97 @@
+package filterjoin_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	filterjoin "filterjoin"
+)
+
+// invariantDB builds a one-table database for the epoch/invalidation
+// tests.
+func invariantDB(t *testing.T) *filterjoin.DB {
+	t.Helper()
+	db := filterjoin.Open(filterjoin.Config{})
+	if err := db.ExecScript(`
+		CREATE TABLE T (a int, b int);
+		INSERT INTO T VALUES (1, 10), (2, 20);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestInsertErrorStillInvalidates pins the lockepoch error-path
+// contract: an INSERT that fails mid-statement has already made its
+// earlier rows visible, so the epoch must advance and cached plans must
+// be dropped even though the statement returns an error.
+func TestInsertErrorStillInvalidates(t *testing.T) {
+	db := invariantDB(t)
+	if _, err := db.Query("SELECT T.a FROM T"); err != nil {
+		t.Fatal(err)
+	}
+	before := db.Engine().Epoch()
+	clearsBefore := db.CacheStats().Clears
+
+	// Row two puts a float into an int column, which the storage layer
+	// rejects after row one is already inserted.
+	_, err := db.Exec("INSERT INTO T VALUES (3, 30), (4.5, 40)")
+	if err == nil {
+		t.Fatal("expected the mixed-type INSERT to fail")
+	}
+
+	if after := db.Engine().Epoch(); after <= before {
+		t.Errorf("epoch = %d after failed INSERT, want > %d: rows inserted before the failure are visible", after, before)
+	}
+	if clears := db.CacheStats().Clears; clears <= clearsBefore {
+		t.Errorf("plan cache Clears = %d, want > %d: stale plans survived the partial mutation", clears, clearsBefore)
+	}
+	r, err := db.Query("SELECT T.a FROM T WHERE T.a = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 {
+		t.Errorf("row inserted before the failure not visible: got %d rows", len(r.Rows))
+	}
+}
+
+// TestLoadCSVPartialFailureInvalidates pins the same contract for bulk
+// loads: a load that parses some rows and then fails has mutated the
+// table, so the epoch must advance on the error path too.
+func TestLoadCSVPartialFailureInvalidates(t *testing.T) {
+	db := invariantDB(t)
+	before := db.Engine().Epoch()
+
+	n, err := db.LoadCSV("T", strings.NewReader("5,50\nnot-an-int,60\n"))
+	if err == nil {
+		t.Fatal("expected the malformed CSV load to fail")
+	}
+	if n != 1 {
+		t.Fatalf("loaded %d rows before the failure, want 1", n)
+	}
+	if after := db.Engine().Epoch(); after <= before {
+		t.Errorf("epoch = %d after partial load, want > %d", after, before)
+	}
+	r, err := db.Query("SELECT T.b FROM T WHERE T.a = 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 {
+		t.Errorf("partially loaded row not visible: got %d rows", len(r.Rows))
+	}
+}
+
+// TestQueryContextCancelled: a cancelled caller context surfaces from
+// the serving layer as context.Canceled, not as a hung or completed
+// query.
+func TestQueryContextCancelled(t *testing.T) {
+	db := invariantDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := db.QueryContext(ctx, "SELECT T.a FROM T")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("QueryContext after cancel: err = %v, want context.Canceled", err)
+	}
+}

@@ -284,7 +284,7 @@ func (db *DB) RunPlan(p *plan.Node) (*Result, error) {
 
 // RunPlanContext is RunPlan under a caller context (see ExecContext).
 func (db *DB) RunPlanContext(stdctx context.Context, p *plan.Node) (*Result, error) {
-	return db.eng.runPlanLocked(stdctx, p)
+	return db.eng.runPlanShared(stdctx, p)
 }
 
 // LoadCSV bulk-loads CSV data into a stored table (an optional header
@@ -301,10 +301,13 @@ func (db *DB) LoadCSV(table string, r io.Reader) (int, error) {
 		return 0, fmt.Errorf("filterjoin: cannot load into non-stored relation %q", table)
 	}
 	n, err := ent.Table.LoadCSV(r)
+	// A partial load (n rows, then a parse error) has already mutated
+	// the table, so invalidate on every path; when nothing was loaded
+	// the epoch bump merely evicts still-valid plans, which is safe.
 	if n > 0 {
 		ent.InvalidateStats()
-		e.invalidateLocked()
 	}
+	e.invalidateLocked()
 	return n, err
 }
 

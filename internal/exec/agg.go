@@ -200,6 +200,9 @@ func (g *StreamGroupBy) Open(ctx *Context) error {
 	g.Aggs = expr.BindAggs(g.Aggs, ctx.Params)
 	g.started = false
 	g.done = false
+	g.curKey = ""
+	g.key = nil
+	g.states = nil
 	g.in.Reset()
 	g.ipos = 0
 	return g.Child.Open(ctx)
@@ -251,6 +254,9 @@ func (g *StreamGroupBy) Next(ctx *Context) (value.Row, bool, error) {
 		return nil, false, nil
 	}
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
 		r, ok, err := g.Child.Next(ctx)
 		if err != nil {
 			return nil, false, err

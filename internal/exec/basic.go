@@ -28,12 +28,16 @@ func (s *Select) Schema() *schema.Schema { return s.Child.Schema() }
 // Open implements Operator.
 func (s *Select) Open(ctx *Context) error {
 	s.Pred = expr.BindParams(s.Pred, ctx.Params)
+	s.in.Reset()
 	return s.Child.Open(ctx)
 }
 
 // Next implements Operator.
 func (s *Select) Next(ctx *Context) (value.Row, bool, error) {
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
 		r, ok, err := s.Child.Next(ctx)
 		if err != nil || !ok {
 			return nil, false, err
@@ -111,6 +115,7 @@ func (p *Project) Schema() *schema.Schema { return p.Out }
 // Open implements Operator.
 func (p *Project) Open(ctx *Context) error {
 	p.Exprs = expr.BindParamsList(p.Exprs, ctx.Params)
+	p.in.Reset()
 	return p.Child.Open(ctx)
 }
 
@@ -177,12 +182,16 @@ func (d *Distinct) Schema() *schema.Schema { return d.Child.Schema() }
 // Open implements Operator.
 func (d *Distinct) Open(ctx *Context) error {
 	d.seen = map[string]bool{}
+	d.in.Reset()
 	return d.Child.Open(ctx)
 }
 
 // Next implements Operator.
 func (d *Distinct) Next(ctx *Context) (value.Row, bool, error) {
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
 		r, ok, err := d.Child.Next(ctx)
 		if err != nil || !ok {
 			return nil, false, err
@@ -313,6 +322,7 @@ func (l *Limit) Schema() *schema.Schema { return l.Child.Schema() }
 // Open implements Operator.
 func (l *Limit) Open(ctx *Context) error {
 	l.seen = 0
+	l.one.Reset()
 	return l.Child.Open(ctx)
 }
 

@@ -105,6 +105,9 @@ func FillBatch(ctx *Context, op Operator, dst *Batch, max int) error {
 		return bo.NextBatch(ctx, dst, max)
 	}
 	for len(dst.Rows) < max {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		r, ok, err := op.Next(ctx)
 		if err != nil {
 			return err
@@ -141,6 +144,9 @@ func forEachInput(ctx *Context, child Operator, fn func(value.Row) error) error 
 		}
 	}
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		r, ok, err := child.Next(ctx)
 		if err != nil {
 			return err

@@ -29,8 +29,16 @@ import (
 
 // NewWorkerContext returns the private context a parallel worker charges
 // against. Worker contexts carry no instrumentation state; their counter
-// is folded into the parent with Absorb.
-func NewWorkerContext() *Context { return NewContext() }
+// is folded into the parent with Absorb. The parent's cancellation
+// context is inherited so a cancelled query stops its workers mid-morsel
+// instead of leaking them until they drain their partitions.
+func NewWorkerContext(parent *Context) *Context {
+	w := NewContext()
+	if parent != nil {
+		w.Caller = parent.Caller
+	}
+	return w
+}
 
 // Absorb merges a worker context's counter into ctx. Spawning operators
 // must call it for every worker before their Open (or Close) returns, so
@@ -139,6 +147,11 @@ func (s *ParallelScan) scanMorsel(wctx *Context, m morselRange) ([]value.Row, er
 	for pos := m.lo; pos < m.hi; pos++ {
 		if pos%rpp == 0 {
 			pages++
+			// Poll at page granularity: cheap, and a cancelled query
+			// abandons the morsel at the next page boundary.
+			if err := wctx.Err(); err != nil {
+				return out, err
+			}
 		}
 		r := s.Table.Row(pos)
 		cpu++
@@ -173,7 +186,7 @@ func (s *ParallelScan) Open(ctx *Context) error {
 	errs := make([]error, len(ranges))
 	var wg sync.WaitGroup
 	for i, m := range ranges {
-		wctxs[i] = NewWorkerContext()
+		wctxs[i] = NewWorkerContext(ctx)
 		wg.Add(1)
 		go func(i int, m morselRange) {
 			defer wg.Done()
@@ -312,7 +325,7 @@ func (g *Gather) run(ctx *Context) ([][]taggedRow, error) {
 		if len(partRows[w]) == 0 {
 			continue
 		}
-		wctxs[w] = NewWorkerContext()
+		wctxs[w] = NewWorkerContext(ctx)
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
@@ -348,6 +361,9 @@ func runWorkerPipeline(wctx *Context, part int, in *partIn, build WorkerBuild) (
 	}
 	var out []taggedRow
 	for {
+		if err := wctx.Err(); err != nil {
+			return out, errors.Join(err, op.Close(wctx))
+		}
 		r, ok, err := op.Next(wctx)
 		if err != nil {
 			return out, errors.Join(err, op.Close(wctx))

@@ -112,11 +112,17 @@ func NewKeySetFilter(child Operator, set *KeySet, keyIdx []int) *KeySetFilter {
 func (f *KeySetFilter) Schema() *schema.Schema { return f.Child.Schema() }
 
 // Open implements Operator.
-func (f *KeySetFilter) Open(ctx *Context) error { return f.Child.Open(ctx) }
+func (f *KeySetFilter) Open(ctx *Context) error {
+	f.in.Reset()
+	return f.Child.Open(ctx)
+}
 
 // Next implements Operator.
 func (f *KeySetFilter) Next(ctx *Context) (value.Row, bool, error) {
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
 		r, ok, err := f.Child.Next(ctx)
 		if err != nil || !ok {
 			return nil, false, err
@@ -175,11 +181,17 @@ func NewBloomFilterScan(child Operator, f *bloom.Filter, keyIdx []int) *BloomFil
 func (b *BloomFilterScan) Schema() *schema.Schema { return b.Child.Schema() }
 
 // Open implements Operator.
-func (b *BloomFilterScan) Open(ctx *Context) error { return b.Child.Open(ctx) }
+func (b *BloomFilterScan) Open(ctx *Context) error {
+	b.in.Reset()
+	return b.Child.Open(ctx)
+}
 
 // Next implements Operator.
 func (b *BloomFilterScan) Next(ctx *Context) (value.Row, bool, error) {
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
 		r, ok, err := b.Child.Next(ctx)
 		if err != nil || !ok {
 			return nil, false, err

@@ -52,6 +52,9 @@ func (j *NestedLoopJoin) Next(ctx *Context) (value.Row, bool, error) {
 		return nil, false, nil
 	}
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
 		if j.cur == nil {
 			r, ok, err := j.Outer.Next(ctx)
 			if err != nil {
@@ -183,6 +186,9 @@ func (j *HashJoin) Open(ctx *Context) error {
 // Next implements Operator.
 func (j *HashJoin) Next(ctx *Context) (value.Row, bool, error) {
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
 		for j.bpos < len(j.bucket) {
 			l := j.bucket[j.bpos]
 			j.bpos++
@@ -346,6 +352,9 @@ func (j *MergeJoin) Open(ctx *Context) error {
 		return err
 	}
 	j.li, j.ri = 0, 0
+	j.groupL = nil
+	j.groupRStart = 0
+	j.gi, j.gj = 0, 0
 	j.inGroup = false
 	return nil
 }
@@ -482,6 +491,9 @@ func (j *IndexNLJoin) Next(ctx *Context) (value.Row, bool, error) {
 		return nil, false, nil
 	}
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
 		if j.cur == nil {
 			r, ok, err := j.Outer.Next(ctx)
 			if err != nil {
@@ -596,6 +608,9 @@ func (j *ParallelHashJoin) joinWorker(wctx *Context, build []value.Row, probe []
 	}
 	var out []taggedRow
 	for i, r := range probe {
+		if err := wctx.Err(); err != nil {
+			return out, err
+		}
 		cpu++
 		bucket := table[r.Key(j.RightKeys)]
 		for _, l := range bucket {
@@ -653,7 +668,7 @@ func (j *ParallelHashJoin) Open(ctx *Context) error {
 		if len(probeParts[w]) == 0 && len(buildParts[w]) == 0 {
 			continue
 		}
-		wctxs[w] = NewWorkerContext()
+		wctxs[w] = NewWorkerContext(ctx)
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()

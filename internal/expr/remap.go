@@ -15,6 +15,10 @@ func Remap(e Expr, m []int) Expr {
 		return Col{Idx: ni, Name: p.Name}
 	case Lit:
 		return p
+	case Param:
+		// A parameter references no columns; bound or not, it remaps to
+		// itself just like a literal.
+		return p
 	case Cmp:
 		return Cmp{Op: p.Op, L: Remap(p.L, m), R: Remap(p.R, m)}
 	case And:

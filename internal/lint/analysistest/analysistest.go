@@ -37,7 +37,11 @@ type expectation struct {
 func Run(t *testing.T, a *analysis.Analyzer, fixture string) {
 	t.Helper()
 	dir := filepath.Join(testdataDir(t), "src", fixture)
-	l, err := loader.New(dir)
+	// The shared loader memoizes parse/typecheck results process-wide:
+	// the real module packages a fixture imports (exec, expr, ...) and
+	// their stdlib closure are loaded once for the whole test run, not
+	// once per fixture.
+	l, err := loader.NewShared(dir)
 	if err != nil {
 		t.Fatalf("loader: %v", err)
 	}

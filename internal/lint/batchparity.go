@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"filterjoin/internal/lint/analysis"
+)
+
+// Batchparity enforces batch/row cost parity (DESIGN.md §11/§13): the
+// batch-at-a-time execution path is an optimization, not a semantic
+// fork, so an operator that implements NextBatch must (a) also
+// implement row-at-a-time Next — Gather's fallback, EXPLAIN ANALYZE's
+// instrumented path, and the differential corpus all drive it — and
+// (b) charge the same ctx.Counter fields on both paths. A NextBatch
+// that charges CPUTuples where Next charges CPUTuples+PageReads makes
+// the FILTERJOIN_BATCH CI matrix legs observe different Table 1 costs
+// for the same plan — the bit-identical parity PR 6 established
+// dynamically, checked here statically.
+//
+// Mechanically this extends costcharge's reachability machinery: the
+// Counter fields referenced by Next (plus same-type methods it calls)
+// are compared as a set against those referenced by NextBatch. A
+// NextBatch that delegates to Next — directly or via exec.FillBatch —
+// inherits Next's charges and passes definitionally. Types that use
+// Context.Absorb or manipulate the Counter struct wholesale (copying
+// it, taking its address) are skipped: field-set comparison is
+// meaningless there and costcharge already covers conservation.
+var Batchparity = &analysis.Analyzer{
+	Name: "batchparity",
+	Doc:  "NextBatch implementations also implement Next and charge the same ctx.Counter fields",
+	Run:  runBatchparity,
+}
+
+func runBatchparity(pass *analysis.Pass) error {
+	iface := pass.NamedInterface(execPkgPath, "Operator")
+	if iface == nil {
+		return nil
+	}
+
+	methodsOf := map[*types.TypeName]map[string]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if tn := receiverTypeName(pass, fd); tn != nil {
+				if methodsOf[tn] == nil {
+					methodsOf[tn] = map[string]*ast.FuncDecl{}
+				}
+				methodsOf[tn][fd.Name.Name] = fd
+			}
+		}
+	}
+
+	for tn, methods := range methodsOf {
+		nb, hasBatch := methods["NextBatch"]
+		if !hasBatch {
+			continue
+		}
+		if _, hasNext := methods["Next"]; !hasNext {
+			pass.Reportf(nb.Name.Pos(), "%s implements NextBatch but not Next; the row-at-a-time fallback (Gather, instrumentation) cannot drive it", tn.Name())
+			continue
+		}
+		if !analysis.Implements(tn.Type(), iface) {
+			continue
+		}
+
+		next := bpCharges(pass, tn, methods, "Next")
+		batch := bpCharges(pass, tn, methods, "NextBatch")
+		if next.wildcard || batch.wildcard {
+			continue
+		}
+		// Delegation: NextBatch reaching Next (or FillBatch, which
+		// loops over Next) inherits the row path's charges.
+		if batch.reach["Next"] || batch.fillBatch {
+			continue
+		}
+		if !bpSameSet(next.fields, batch.fields) {
+			pass.Reportf(nb.Name.Pos(), "%s charges different Counter fields in Next (%s) and NextBatch (%s); batch and row execution of the same plan observe different Table 1 costs",
+				tn.Name(), bpFormat(next.fields), bpFormat(batch.fields))
+		}
+	}
+	return nil
+}
+
+type bpChargeSet struct {
+	fields    map[string]bool
+	reach     map[string]bool
+	fillBatch bool
+	// wildcard: the path absorbs worker counters or manipulates the
+	// Counter struct wholesale; field-set comparison is not meaningful.
+	wildcard bool
+}
+
+// bpCharges collects the Counter fields charged by seed plus the
+// same-type methods it transitively calls.
+func bpCharges(pass *analysis.Pass, tn *types.TypeName, methods map[string]*ast.FuncDecl, seed string) bpChargeSet {
+	out := bpChargeSet{fields: map[string]bool{}, reach: map[string]bool{}}
+	// ctx.Counter selectors that are the base of a field selection
+	// (ctx.Counter.CPUTuples) are charges; a bare ctx.Counter without a
+	// parent selector is wholesale manipulation. Mark the parented ones
+	// first so the second walk can tell them apart.
+	counterParents := map[*ast.SelectorExpr]bool{}
+	var collect func(name string)
+	collect = func(name string) {
+		fd, ok := methods[name]
+		if !ok || out.reach[name] {
+			return
+		}
+		out.reach[name] = true
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if x, ok := n.(*ast.SelectorExpr); ok {
+				if inner, ok := x.X.(*ast.SelectorExpr); ok && isCounterField(pass, inner) {
+					counterParents[inner] = true
+					out.fields[x.Sel.Name] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+					if callee := calleeOn(pass, sel, tn); callee != "" {
+						collect(callee)
+					}
+				}
+				if isAbsorbCall(pass, x) {
+					out.wildcard = true
+				}
+				if bpIsExecFunc(pass, x, "FillBatch") {
+					out.fillBatch = true
+				}
+			case *ast.SelectorExpr:
+				if isCounterField(pass, x) && !counterParents[x] {
+					out.wildcard = true
+				}
+			}
+			return true
+		})
+	}
+	collect(seed)
+	return out
+}
+
+// bpIsExecFunc matches a call to the named exec-package function,
+// qualified (exec.FillBatch) or package-local (FillBatch).
+func bpIsExecFunc(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fun.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	return ok && fn.Name() == name && fn.Pkg() != nil && fn.Pkg().Path() == execPkgPath
+}
+
+func bpSameSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func bpFormat(fields map[string]bool) string {
+	if len(fields) == 0 {
+		return "none"
+	}
+	names := make([]string, 0, len(fields))
+	for k := range fields {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, "+")
+}

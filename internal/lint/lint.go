@@ -1,4 +1,4 @@
-// Package lint hosts optlint, the repo's static-analysis suite. Six
+// Package lint hosts optlint, the repo's static-analysis suite. Eleven
 // analyzers encode contracts the paper's cost-based argument depends
 // on; each maps to a runtime invariant that was previously enforced
 // only by property tests (see DESIGN.md "Static analysis"):
@@ -18,6 +18,21 @@
 //   - sitefault:  transport Send errors are never discarded, so a
 //     *dist.SiteError always propagates to the facade's
 //     graceful-degradation handler.
+//   - lockepoch:  Engine catalog/model mutations hold the write lock
+//     on every path and bump the epoch + invalidate caches before
+//     returning; read paths never take the write lock (epoch
+//     monotonicity).
+//   - sharesafe:  operator state written during execution is forked or
+//     reset at Open, and plan Make closures build fresh trees
+//     (cached-plan immutability).
+//   - parambind:  operator-captured expressions are rebound via
+//     expr.Bind* at Open, and Lit-classifying switches handle Param
+//     (bind completeness).
+//   - ctxcancel:  row-pulling loops and exchange worker goroutines
+//     observe exec.Context cancellation (cancellation liveness).
+//   - batchparity: NextBatch implementations keep a Next fallback and
+//     charge the same Counter fields on both paths (batch/row cost
+//     parity).
 //
 // A finding is suppressed by a "//lint:ignore <analyzer> <reason>"
 // comment on the flagged line or the line directly above it.
@@ -43,6 +58,11 @@ func All() []*analysis.Analyzer {
 		Exhaustive,
 		Floatcmp,
 		Sitefault,
+		Lockepoch,
+		Sharesafe,
+		Parambind,
+		Ctxcancel,
+		Batchparity,
 	}
 }
 
@@ -84,15 +104,76 @@ func ignoresIn(pkg *loader.Package, fset *token.FileSet) map[string]map[int][]st
 	return out
 }
 
+// Directive is one parsed //lint:ignore comment. Parsing here is
+// deliberately lenient — malformed directives (no analyzer name, no
+// reason) are returned with empty fields rather than skipped, so the
+// suppression audit can reject them. Note a reason-less directive also
+// fails to match ignoreRe, i.e. it suppresses nothing at runtime.
+type Directive struct {
+	File   string
+	Line   int
+	Names  []string
+	Reason string
+}
+
+// directiveRe is the lenient counterpart of ignoreRe: it matches any
+// comment that begins a suppression attempt, well-formed or not.
+var directiveRe = regexp.MustCompile(`^//lint:ignore\b[ \t]*(\S*)[ \t]*(.*)$`)
+
+// DirectivesIn parses every //lint:ignore comment in pkgs.
+func DirectivesIn(fset *token.FileSet, pkgs []*loader.Package) []Directive {
+	var out []Directive
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := directiveRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					d := Directive{File: pos.Filename, Line: pos.Line, Reason: strings.TrimSpace(m[2])}
+					if m[1] != "" {
+						d.Names = strings.Split(m[1], ",")
+					}
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
+}
+
+// RunRaw applies every analyzer with suppression disabled, returning
+// every diagnostic produced. The suppression audit uses this to detect
+// stale ignores: a directive with no raw diagnostic on its line or the
+// next is dead weight.
+func RunRaw(fset *token.FileSet, pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	return run(fset, pkgs, analyzers, false)
+}
+
 // Run applies every analyzer to every package and returns the
 // surviving (unsuppressed) diagnostics sorted by position.
 func Run(fset *token.FileSet, pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	return run(fset, pkgs, analyzers, true)
+}
+
+func run(fset *token.FileSet, pkgs []*loader.Package, analyzers []*analysis.Analyzer, suppress bool) ([]analysis.Diagnostic, error) {
 	var diags []analysis.Diagnostic
 	for _, pkg := range pkgs {
 		if pkg.Pkg == nil {
 			continue
 		}
-		ignores := ignoresIn(pkg, fset)
+		var ignores map[string]map[int][]string
+		if suppress {
+			ignores = ignoresIn(pkg, fset)
+		}
 		for _, a := range analyzers {
 			pass := &analysis.Pass{
 				Analyzer:  a,

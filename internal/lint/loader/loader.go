@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one parsed and type-checked package.
@@ -39,6 +40,7 @@ type Loader struct {
 
 	Fset *token.FileSet
 
+	mu     sync.Mutex     // serializes Load/LoadDir (and guards the caches below)
 	std    types.Importer // source-mode importer for GOROOT packages
 	loaded map[string]*Package
 	active map[string]bool // import-cycle detection
@@ -63,6 +65,39 @@ func New(dir string) (*Loader, error) {
 		loaded:     map[string]*Package{},
 		active:     map[string]bool{},
 	}, nil
+}
+
+// sharedLoaders memoizes one Loader per module root for the whole
+// process. Every LoadDir result is itself memoized per import path, so
+// callers that share a Loader — the analysistest fixtures, the
+// real-tree test, repeated optlint runs in one process — parse and
+// type-check each package (and every stdlib dependency the source
+// importer pulls in) exactly once instead of once per caller.
+var (
+	sharedMu      sync.Mutex
+	sharedLoaders = map[string]*Loader{}
+)
+
+// NewShared returns the process-wide shared loader for the module at or
+// above dir, creating it on first use. The shared loader serializes
+// loads internally, so it is safe to use from concurrent tests; the
+// returned packages must be treated as immutable.
+func NewShared(dir string) (*Loader, error) {
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if l, ok := sharedLoaders[root]; ok {
+		return l, nil
+	}
+	l, err := New(root)
+	if err != nil {
+		return nil, err
+	}
+	sharedLoaders[root] = l
+	return l, nil
 }
 
 func findModuleRoot(dir string) (string, error) {
@@ -101,6 +136,8 @@ func modulePath(gomod string) (string, error) {
 // Directories named testdata, hidden directories, and directories with
 // no non-test .go files are skipped during ./... expansion.
 func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	var dirs []string
 	for _, pat := range patterns {
 		switch {
@@ -136,7 +173,7 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 		if len(names) == 0 {
 			continue
 		}
-		pkg, err := l.LoadDir(d, l.importPathFor(d))
+		pkg, err := l.loadDir(d, l.importPathFor(d))
 		if err != nil {
 			return nil, err
 		}
@@ -206,6 +243,14 @@ func goFiles(dir string) ([]string, error) {
 // import path, loading module-internal dependencies on demand. Results
 // are memoized per import path.
 func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.loadDir(dir, path)
+}
+
+// loadDir is LoadDir with l.mu held; the importer re-enters here for
+// module-internal dependencies.
+func (l *Loader) loadDir(dir, path string) (*Package, error) {
 	if pkg, ok := l.loaded[path]; ok {
 		return pkg, nil
 	}
@@ -263,7 +308,7 @@ type moduleImporter struct {
 func (m *moduleImporter) Import(path string) (*types.Package, error) {
 	if path == m.l.ModulePath || strings.HasPrefix(path, m.l.ModulePath+"/") {
 		rel := strings.TrimPrefix(strings.TrimPrefix(path, m.l.ModulePath), "/")
-		pkg, err := m.l.LoadDir(filepath.Join(m.l.ModuleRoot, filepath.FromSlash(rel)), path)
+		pkg, err := m.l.loadDir(filepath.Join(m.l.ModuleRoot, filepath.FromSlash(rel)), path)
 		if err != nil {
 			return nil, err
 		}

@@ -166,7 +166,7 @@ func (a *absorbOnly) Open(ctx *exec.Context) error {
 		}
 		parts[len(parts)-1] = append(parts[len(parts)-1], r)
 	}
-	w := exec.NewWorkerContext()
+	w := exec.NewWorkerContext(ctx)
 	done := make(chan struct{})
 	go func() {
 		chargeRowsFree(w, rows)
@@ -198,7 +198,7 @@ type goLeak struct {
 func (g *goLeak) Schema() *schema.Schema { return nil }
 
 func (g *goLeak) Open(ctx *exec.Context) error { // want "goLeak.Open spawns goroutines but no method of goLeak reachable from Open/Next/NextBatch merges worker counters via ctx.Absorb"
-	w := exec.NewWorkerContext()
+	w := exec.NewWorkerContext(ctx)
 	done := make(chan struct{})
 	go func() {
 		w.Counter.CPUTuples++

@@ -1,0 +1,241 @@
+// Package ctxcancel exercises the ctxcancel analyzer: row-pulling
+// loops must observe exec.Context cancellation each iteration, and
+// exchange-style worker goroutines must reach a cancellation check —
+// otherwise a cancelled query spins or leaks workers.
+package ctxcancel
+
+import (
+	"filterjoin/internal/exec"
+	"filterjoin/internal/schema"
+	"filterjoin/internal/value"
+)
+
+// spinFilter pulls until a row survives the filter, deaf to
+// cancellation: an all-filtered input spins forever after the caller
+// hung up.
+type spinFilter struct {
+	child exec.Operator
+}
+
+func (s *spinFilter) Schema() *schema.Schema { return s.child.Schema() }
+
+func (s *spinFilter) Open(ctx *exec.Context) error { return s.child.Open(ctx) }
+
+func (s *spinFilter) Next(ctx *exec.Context) (value.Row, bool, error) {
+	for { // want "loop pulls rows but never observes cancellation"
+		r, ok, err := s.child.Next(ctx)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if len(r) > 0 {
+			ctx.Counter.CPUTuples++
+			return r, true, nil
+		}
+	}
+}
+
+func (s *spinFilter) Close(ctx *exec.Context) error { return s.child.Close(ctx) }
+
+// checkedFilter polls ctx.Err each iteration: compliant.
+type checkedFilter struct {
+	child exec.Operator
+}
+
+func (c *checkedFilter) Schema() *schema.Schema { return c.child.Schema() }
+
+func (c *checkedFilter) Open(ctx *exec.Context) error { return c.child.Open(ctx) }
+
+func (c *checkedFilter) Next(ctx *exec.Context) (value.Row, bool, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		r, ok, err := c.child.Next(ctx)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if len(r) > 0 {
+			ctx.Counter.CPUTuples++
+			return r, true, nil
+		}
+	}
+}
+
+func (c *checkedFilter) Close(ctx *exec.Context) error { return c.child.Close(ctx) }
+
+// helperChecked observes cancellation through a helper method: the
+// check propagates through same-package calls.
+type helperChecked struct {
+	child exec.Operator
+}
+
+func (h *helperChecked) Schema() *schema.Schema { return h.child.Schema() }
+
+func (h *helperChecked) Open(ctx *exec.Context) error { return h.child.Open(ctx) }
+
+func (h *helperChecked) guard(ctx *exec.Context) error { return ctx.Err() }
+
+func (h *helperChecked) Next(ctx *exec.Context) (value.Row, bool, error) {
+	for {
+		if err := h.guard(ctx); err != nil {
+			return nil, false, err
+		}
+		r, ok, err := h.child.Next(ctx)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if len(r) > 0 {
+			return r, true, nil
+		}
+	}
+}
+
+func (h *helperChecked) Close(ctx *exec.Context) error { return h.child.Close(ctx) }
+
+// pager refills through exec.FillBatch, which is itself obligated (by
+// this analyzer running over the exec package) to observe cancellation:
+// the call is both the pull and the check.
+type pager struct {
+	child exec.Operator
+	buf   exec.Batch
+	pos   int
+}
+
+func (p *pager) Schema() *schema.Schema { return p.child.Schema() }
+
+func (p *pager) Open(ctx *exec.Context) error {
+	p.buf.Reset()
+	p.pos = 0
+	return p.child.Open(ctx)
+}
+
+func (p *pager) Next(ctx *exec.Context) (value.Row, bool, error) {
+	for p.pos >= p.buf.Len() {
+		p.buf.Reset()
+		p.pos = 0
+		if err := exec.FillBatch(ctx, p.child, &p.buf, 64); err != nil {
+			return nil, false, err
+		}
+		if p.buf.Len() == 0 {
+			return nil, false, nil
+		}
+	}
+	r := p.buf.Rows[p.pos]
+	p.pos++
+	return r, true, nil
+}
+
+func (p *pager) Close(ctx *exec.Context) error { return p.child.Close(ctx) }
+
+// leakyGather spawns a producer goroutine that never checks
+// cancellation: the worker outlives the query.
+type leakyGather struct {
+	child exec.Operator
+	out   chan value.Row
+}
+
+func (g *leakyGather) Schema() *schema.Schema { return g.child.Schema() }
+
+func (g *leakyGather) Open(ctx *exec.Context) error {
+	if err := g.child.Open(ctx); err != nil {
+		return err
+	}
+	g.out = make(chan value.Row, 4)
+	go func() { // want "goroutine spawned by leakyGather never observes exec.Context cancellation"
+		for {
+			r, ok, err := g.child.Next(ctx)
+			if err != nil || !ok {
+				close(g.out)
+				return
+			}
+			g.out <- r
+		}
+	}()
+	return nil
+}
+
+func (g *leakyGather) Next(ctx *exec.Context) (value.Row, bool, error) {
+	r, ok := <-g.out
+	if !ok {
+		return nil, false, nil
+	}
+	return r, true, nil
+}
+
+func (g *leakyGather) Close(ctx *exec.Context) error { return g.child.Close(ctx) }
+
+// politeGather pumps through a method whose loop polls ctx.Err:
+// compliant on both the loop rule and the goroutine rule.
+type politeGather struct {
+	child exec.Operator
+	out   chan value.Row
+}
+
+func (g *politeGather) Schema() *schema.Schema { return g.child.Schema() }
+
+func (g *politeGather) Open(ctx *exec.Context) error {
+	if err := g.child.Open(ctx); err != nil {
+		return err
+	}
+	g.out = make(chan value.Row, 4)
+	go g.pump(ctx)
+	return nil
+}
+
+func (g *politeGather) pump(ctx *exec.Context) {
+	for {
+		if ctx.Err() != nil {
+			close(g.out)
+			return
+		}
+		r, ok, err := g.child.Next(ctx)
+		if err != nil || !ok {
+			close(g.out)
+			return
+		}
+		g.out <- r
+	}
+}
+
+func (g *politeGather) Next(ctx *exec.Context) (value.Row, bool, error) {
+	r, ok := <-g.out
+	if !ok {
+		return nil, false, nil
+	}
+	return r, true, nil
+}
+
+func (g *politeGather) Close(ctx *exec.Context) error { return g.child.Close(ctx) }
+
+// drainAll is a drain shim without the obligation the real ones carry:
+// free functions driving an Operator parameter are in scope too.
+func drainAll(ctx *exec.Context, op exec.Operator) ([]value.Row, error) {
+	var out []value.Row
+	for { // want "loop pulls rows but never observes cancellation"
+		r, ok, err := op.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, r)
+	}
+}
+
+// spinCount is a bench harness helper over bounded local input; the
+// suppression records why the liveness rule is waived.
+func spinCount(ctx *exec.Context, op exec.Operator) (int, error) {
+	n := 0
+	//lint:ignore ctxcancel fixture: bench harness, input is bounded and local
+	for {
+		_, ok, err := op.Next(ctx)
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			return n, nil
+		}
+		n++
+	}
+}

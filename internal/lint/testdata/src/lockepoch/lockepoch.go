@@ -1,0 +1,157 @@
+// Package lockepoch exercises the lockepoch analyzer: engine-like
+// types (sync.RWMutex + integer epoch field) must mutate catalog/model
+// state only under the write lock, bump the epoch and invalidate
+// caches before returning, never upgrade a read lock, and *Locked
+// helpers must not lock their own mutex.
+package lockepoch
+
+import (
+	"errors"
+	"sync"
+)
+
+var errBad = errors.New("negative row")
+
+type table struct{ rows []int }
+
+func (t *table) Insert(r int) { t.rows = append(t.rows, r) }
+
+type planCache struct{ m map[string]int }
+
+func (p *planCache) Clear()                   { p.m = map[string]int{} }
+func (p *planCache) Put(k string, v int)      { p.m[k] = v }
+func (p *planCache) Get(k string) (int, bool) { v, ok := p.m[k]; return v, ok }
+
+type catalog struct{ tables map[string]*table }
+
+func (c *catalog) AddTable(name string, t *table) { c.tables[name] = t }
+func (c *catalog) Drop(name string)               { delete(c.tables, name) }
+func (c *catalog) Lookup(name string) *table      { return c.tables[name] }
+
+// engine is the shape the analyzer keys on: an RWMutex plus an integer
+// epoch field in one struct.
+type engine struct {
+	mu    sync.RWMutex
+	epoch uint64
+	cat   *catalog
+	cache *planCache
+	stats int
+}
+
+// invalidateLocked is the canonical bump-and-clear helper; its summary
+// (bumps + clears) is applied at call sites.
+func (e *engine) invalidateLocked() {
+	e.epoch++
+	e.cache.Clear()
+}
+
+// createTable is the disciplined mutation path: write lock, mutate,
+// bump + invalidate via the helper.
+func (e *engine) createTable(name string, t *table) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cat.AddTable(name, t)
+	e.invalidateLocked()
+}
+
+// lookup is a clean read path: read lock only.
+func (e *engine) lookup(name string) *table {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.cat.Lookup(name)
+}
+
+// insertUnlocked mutates a catalog table without any lock held.
+func (e *engine) insertUnlocked(name string, r int) {
+	t := e.cat.Lookup(name)
+	t.Insert(r) // want "catalog/model mutation Insert\(\) without the write lock held"
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.invalidateLocked()
+}
+
+// createNoInvalidate mutates under the lock but forgets both the epoch
+// bump and the cache invalidation.
+func (e *engine) createNoInvalidate(name string, t *table) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cat.AddTable(name, t)
+	return nil // want "return after catalog/model mutation without epoch bump \+ cache invalidation; stale cached plans survive the mutation"
+}
+
+// insertRows invalidates on the happy path but leaks an early return
+// inside the loop with the debt still owed.
+func (e *engine) insertRows(name string, rows []int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t := e.cat.Lookup(name)
+	for _, r := range rows {
+		if r < 0 {
+			t.Insert(0)
+			return errBad // want "return after catalog/model mutation without epoch bump \+ cache invalidation"
+		}
+		t.Insert(r)
+	}
+	e.epoch++
+	e.cache.Clear()
+	return nil
+}
+
+// lookupThenUpgrade attempts the classic RLock-to-Lock upgrade, which
+// self-deadlocks under sync.RWMutex.
+func (e *engine) lookupThenUpgrade(name string) *table {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	t := e.cat.Lookup(name)
+	if t == nil {
+		e.mu.Lock() // want "write lock acquired while the read lock is held \(upgrade deadlock\)"
+		defer e.mu.Unlock()
+		return nil
+	}
+	return t
+}
+
+// statsLocked promises via its name that the caller holds the lock,
+// then locks anyway.
+func (e *engine) statsLocked() int {
+	e.mu.RLock() // want "statsLocked is a \*Locked method \(caller holds the lock\) but locks its own mutex"
+	defer e.mu.RUnlock()
+	return e.stats
+}
+
+// setStats writes shared engine fields with no lock at all.
+func (e *engine) setStats(v int) {
+	e.stats = v // want "write to e.stats outside the write lock"
+	e.epoch++   // want "write to e.epoch outside the write lock"
+	e.cache.Clear()
+}
+
+// newEngine builds a fresh engine: an object nobody else can see yet
+// needs no lock and no invalidation (constructor exemption).
+func newEngine() *engine {
+	e := &engine{cat: &catalog{tables: map[string]*table{}}, cache: &planCache{m: map[string]int{}}}
+	e.cat.AddTable("bootstrap", &table{})
+	e.stats = 1
+	e.epoch = 1
+	return e
+}
+
+// db wraps an engine behind a field: lock tracking follows the
+// selector chain, not just bare receivers.
+type db struct{ eng *engine }
+
+func (d *db) rename(oldName, newName string, t *table) {
+	d.eng.mu.Lock()
+	defer d.eng.mu.Unlock()
+	d.eng.cat.Drop(oldName)
+	d.eng.cat.AddTable(newName, t)
+	d.eng.invalidateLocked()
+}
+
+// bootstrapInsert runs before any reader exists; the suppression
+// documents why the discipline does not apply.
+func (e *engine) bootstrapInsert(name string, r int) {
+	//lint:ignore lockepoch fixture: startup is single-threaded, no readers yet
+	e.cat.Lookup(name).Insert(r)
+	e.invalidateLocked()
+}

@@ -110,6 +110,9 @@ func (j *ProbeJoin) Next(ctx *exec.Context) (value.Row, bool, error) {
 		return nil, false, nil
 	}
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
 		if j.cur == nil {
 			r, ok, err := j.Outer.Next(ctx)
 			if err != nil {
