@@ -44,11 +44,12 @@ func checkGolden(t *testing.T, name, got string) {
 
 // quickstartDB loads the quickstart example's deterministic schema and
 // data (6000 employees over 150 departments, formula-generated). The
-// batch size is pinned so the goldens don't depend on FILTERJOIN_BATCH
-// (CI runs the suite at both 1 and 1024).
+// batch size and kernel engine are pinned so the goldens don't depend
+// on FILTERJOIN_BATCH or FILTERJOIN_KERNELS (CI runs the suite under
+// several combinations).
 func quickstartDB(t *testing.T) *filterjoin.DB {
 	t.Helper()
-	db := filterjoin.Open(filterjoin.Config{BatchSize: 1024})
+	db := filterjoin.Open(filterjoin.Config{BatchSize: 1024, Kernels: "on"})
 	if err := db.ExecScript(`
 		CREATE TABLE Emp (eid int, did int, sal float, age int);
 		CREATE TABLE Dept (did int, budget int);
@@ -183,6 +184,7 @@ func TestExplainAnalyzeGoldenBatchParallelDegraded(t *testing.T) {
 	db := degradeDBWith(t, func(cfg *filterjoin.Config) {
 		cfg.BatchSize = 1024
 		cfg.DegreeOfParallelism = 4
+		cfg.Kernels = "on"
 	})
 	got, err := db.ExplainAnalyze(distJoinQuery)
 	if err != nil {

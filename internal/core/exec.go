@@ -141,8 +141,12 @@ func (f *filterJoinOp) Open(ctx *exec.Context) error {
 		return err
 	}
 
-	// Step 4: final join of P with R_k' on all join attributes.
-	f.final = exec.NewHashJoinProbeFirst(restricted, pJoin, s.innerAllLoc, s.outerAllPos, s.residual)
+	// Step 4: final join of P with R_k' on all join attributes. The build
+	// side is the restricted inner, so its table is pre-sized from the
+	// optimizer's |R_k'| estimate.
+	final := exec.NewHashJoinProbeFirst(restricted, pJoin, s.innerAllLoc, s.outerAllPos, s.residual)
+	final.BuildSizeHint = int(ch.RestrictRows + 0.5)
+	f.final = final
 	return f.final.Open(ctx)
 }
 

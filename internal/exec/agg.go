@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"bytes"
 	"errors"
 	"sort"
 
@@ -24,6 +25,14 @@ type GroupBy struct {
 	out      *schema.Schema
 	results  []value.Row
 	pos      int
+
+	// Kernel-path state (ctx.Kernels): groups live in a RowTable over
+	// byte-encoded keys with dense ids indexing the state slice; one
+	// scratch buffer serves every key encoding. Output order — sorted by
+	// canonical key — is reproduced exactly, since byte comparison of
+	// the encodings equals Go string comparison of the map keys.
+	ht     RowTable
+	keyBuf []byte
 }
 
 // NewGroupBy builds a hash aggregation operator. Output column names for
@@ -63,27 +72,57 @@ type groupState struct {
 	states []*expr.AggState
 }
 
+// newGroupState starts a group for r's key projection.
+func (g *GroupBy) newGroupState(r value.Row) *groupState {
+	gs := &groupState{key: r.Project(g.GroupIdx)}
+	gs.states = make([]*expr.AggState, len(g.Aggs))
+	for i, a := range g.Aggs {
+		gs.states[i] = expr.NewAggState(a.Kind)
+	}
+	return gs
+}
+
 // Open implements Operator.
 func (g *GroupBy) Open(ctx *Context) error {
 	g.Aggs = expr.BindAggs(g.Aggs, ctx.Params)
-	groups := make(map[string]*groupState, g.SizeHint)
-	order := make([]string, 0, g.SizeHint)
+	useTable := ctx.Kernels
+	var (
+		groups map[string]*groupState
+		order  []string
+		dense  []*groupState
+	)
+	var lookup func(r value.Row) *groupState
+	if useTable {
+		g.ht.Init(g.SizeHint)
+		dense = make([]*groupState, 0, g.SizeHint)
+		lookup = func(r value.Row) *groupState {
+			g.keyBuf = r.AppendKey(g.keyBuf[:0], g.GroupIdx)
+			id, added := g.ht.Insert(g.keyBuf)
+			if added {
+				dense = append(dense, g.newGroupState(r))
+			}
+			return dense[id]
+		}
+	} else {
+		groups = make(map[string]*groupState, g.SizeHint)
+		order = make([]string, 0, g.SizeHint)
+		lookup = func(r value.Row) *groupState {
+			k := r.Key(g.GroupIdx)
+			gs := groups[k]
+			if gs == nil {
+				gs = g.newGroupState(r)
+				groups[k] = gs
+				order = append(order, k)
+			}
+			return gs
+		}
+	}
 	if err := g.Child.Open(ctx); err != nil {
 		return err
 	}
 	err := forEachInput(ctx, g.Child, func(r value.Row) error {
 		ctx.Counter.CPUTuples++
-		k := r.Key(g.GroupIdx)
-		gs := groups[k]
-		if gs == nil {
-			gs = &groupState{key: r.Project(g.GroupIdx)}
-			gs.states = make([]*expr.AggState, len(g.Aggs))
-			for i, a := range g.Aggs {
-				gs.states[i] = expr.NewAggState(a.Kind)
-			}
-			groups[k] = gs
-			order = append(order, k)
-		}
+		gs := lookup(r)
 		for i, a := range g.Aggs {
 			var v value.Value
 			if a.Arg == nil {
@@ -108,25 +147,43 @@ func (g *GroupBy) Open(ctx *Context) error {
 		return err
 	}
 	// Scalar aggregation over an empty input still yields one row.
-	if len(g.GroupIdx) == 0 && len(order) == 0 {
-		gs := &groupState{key: value.Row{}}
-		gs.states = make([]*expr.AggState, len(g.Aggs))
-		for i, a := range g.Aggs {
-			gs.states[i] = expr.NewAggState(a.Kind)
+	scalarEmpty := len(g.GroupIdx) == 0 &&
+		((useTable && g.ht.Len() == 0) || (!useTable && len(order) == 0))
+	if scalarEmpty {
+		gs := g.newGroupState(value.Row{})
+		if useTable {
+			g.ht.Insert(nil)
+			dense = append(dense, gs)
+		} else {
+			groups[""] = gs
+			order = append(order, "")
 		}
-		groups[""] = gs
-		order = append(order, "")
 	}
-	sort.Strings(order)
 	g.results = g.results[:0]
-	for _, k := range order {
-		gs := groups[k]
+	emit := func(gs *groupState) {
 		out := make(value.Row, 0, len(g.GroupIdx)+len(g.Aggs))
 		out = append(out, gs.key...)
 		for _, st := range gs.states {
 			out = append(out, st.Result())
 		}
 		g.results = append(g.results, out)
+	}
+	if useTable {
+		ids := make([]int32, g.ht.Len())
+		for i := range ids {
+			ids[i] = int32(i)
+		}
+		sort.Slice(ids, func(a, b int) bool {
+			return bytes.Compare(g.ht.Key(ids[a]), g.ht.Key(ids[b])) < 0
+		})
+		for _, id := range ids {
+			emit(dense[id])
+		}
+	} else {
+		sort.Strings(order)
+		for _, k := range order {
+			emit(groups[k])
+		}
 	}
 	g.pos = 0
 	return nil
@@ -173,7 +230,12 @@ type StreamGroupBy struct {
 	Aggs     []expr.AggSpec
 	out      *schema.Schema
 
-	curKey  string
+	// curKey and rowKey are reusable canonical-key buffers: rowKey holds
+	// the current row's encoding and curKey the open group's, so the
+	// per-row comparison allocates nothing (byte equality of encodings
+	// equals string equality of the old map keys).
+	curKey  []byte
+	rowKey  []byte
 	key     value.Row
 	states  []*expr.AggState
 	started bool
@@ -200,7 +262,8 @@ func (g *StreamGroupBy) Open(ctx *Context) error {
 	g.Aggs = expr.BindAggs(g.Aggs, ctx.Params)
 	g.started = false
 	g.done = false
-	g.curKey = ""
+	g.curKey = g.curKey[:0]
+	g.rowKey = g.rowKey[:0]
 	g.key = nil
 	g.states = nil
 	g.in.Reset()
@@ -208,8 +271,8 @@ func (g *StreamGroupBy) Open(ctx *Context) error {
 	return g.Child.Open(ctx)
 }
 
-func (g *StreamGroupBy) begin(r value.Row, key string) {
-	g.curKey = key
+func (g *StreamGroupBy) begin(r value.Row, key []byte) {
+	g.curKey = append(g.curKey[:0], key...)
 	g.key = r.Project(g.GroupIdx)
 	g.states = make([]*expr.AggState, len(g.Aggs))
 	for i, a := range g.Aggs {
@@ -268,14 +331,15 @@ func (g *StreamGroupBy) Next(ctx *Context) (value.Row, bool, error) {
 			}
 			// Scalar aggregation over an empty input still yields one row.
 			if len(g.GroupIdx) == 0 {
-				g.begin(value.Row{}, "")
+				g.begin(value.Row{}, nil)
 				return g.emit(ctx), true, nil
 			}
 			return nil, false, nil
 		}
 		ctx.Counter.CPUTuples++
-		k := r.Key(g.GroupIdx)
-		if g.started && k != g.curKey {
+		g.rowKey = r.AppendKey(g.rowKey[:0], g.GroupIdx)
+		k := g.rowKey
+		if g.started && !bytes.Equal(k, g.curKey) {
 			out := g.emit(ctx)
 			g.begin(r, k)
 			if err := g.accumulate(r); err != nil {
@@ -315,7 +379,7 @@ func (g *StreamGroupBy) NextBatch(ctx *Context, dst *Batch, max int) error {
 					dst.Rows = append(dst.Rows, g.emit(ctx))
 				} else if len(g.GroupIdx) == 0 {
 					// Scalar aggregation over an empty input still yields one row.
-					g.begin(value.Row{}, "")
+					g.begin(value.Row{}, nil)
 					dst.Rows = append(dst.Rows, g.emit(ctx))
 				}
 				return nil
@@ -324,8 +388,9 @@ func (g *StreamGroupBy) NextBatch(ctx *Context, dst *Batch, max int) error {
 		r := g.in.Rows[g.ipos]
 		g.ipos++
 		ctx.Counter.CPUTuples++
-		k := r.Key(g.GroupIdx)
-		if g.started && k != g.curKey {
+		g.rowKey = r.AppendKey(g.rowKey[:0], g.GroupIdx)
+		k := g.rowKey
+		if g.started && !bytes.Equal(k, g.curKey) {
 			dst.Rows = append(dst.Rows, g.emit(ctx))
 			g.begin(r, k)
 			if err := g.accumulate(r); err != nil {

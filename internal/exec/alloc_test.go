@@ -1,0 +1,117 @@
+package exec
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"filterjoin/internal/expr"
+)
+
+// allocBudget is the checked-in allocation budget for steady-state
+// NextBatch calls on the kernel paths (testdata/alloc_budget.json). The
+// budgets carry roughly 2x headroom over the measured figures so the
+// gate catches regressions — a per-row allocation shows up as ~1024
+// allocs per batch — without flaking on incidental runtime variation.
+type allocBudget map[string]float64
+
+func loadAllocBudget(t *testing.T) allocBudget {
+	t.Helper()
+	raw, err := os.ReadFile("testdata/alloc_budget.json")
+	if err != nil {
+		t.Fatalf("alloc budget: %v", err)
+	}
+	var b allocBudget
+	if err := json.Unmarshal(raw, &b); err != nil {
+		t.Fatalf("alloc budget: %v", err)
+	}
+	return b
+}
+
+// allocTable builds a table long enough that dozens of NextBatch pulls
+// stay in the middle of the stream.
+func allocTable(t testing.TB, name string, n int) Operator {
+	rows := make([][]int64, n)
+	for i := range rows {
+		rows[i] = []int64{int64(i % 997), int64(i % 31)}
+	}
+	return NewTableScan(intTable(t, name, []string{"k", "v"}, rows), "")
+}
+
+// TestAllocBudget is the allocation regression gate for the kernel
+// paths: a warmed Filter, HashJoin, and GroupBy batch pipeline must not
+// allocate more per steady-state NextBatch than the checked-in budget.
+func TestAllocBudget(t *testing.T) {
+	budget := loadAllocBudget(t)
+	const tableRows = 200_000
+	cases := []struct {
+		name string
+		mk   func(t *testing.T) Operator
+	}{
+		{"Select", func(t *testing.T) Operator {
+			pred := expr.NewAnd(
+				expr.NewCmp(expr.LT, expr.NewCol(1, "v"), expr.Int(25)),
+				expr.NewCmp(expr.GE, expr.NewCol(0, "k"), expr.Int(3)),
+			)
+			return NewSelect(allocTable(t, "t", tableRows), pred)
+		}},
+		{"HashJoin", func(t *testing.T) Operator {
+			return NewHashJoin(allocTable(t, "b", 4096), allocTable(t, "p", tableRows),
+				[]int{0}, []int{0}, nil)
+		}},
+		{"GroupBy", func(t *testing.T) Operator {
+			// Distinct keys so the emit phase spans many output batches.
+			rows := make([][]int64, tableRows)
+			for i := range rows {
+				rows[i] = []int64{int64(i), int64(i % 31)}
+			}
+			scan := NewTableScan(intTable(t, "g", []string{"k", "v"}, rows), "")
+			return NewGroupBy(scan, []int{0},
+				[]expr.AggSpec{{Kind: expr.AggCount, Name: "c"}})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, ok := budget[tc.name]
+			if !ok {
+				t.Fatalf("no budget entry for %s", tc.name)
+			}
+			op := tc.mk(t)
+			ctx := NewContext()
+			ctx.Kernels = true
+			ctx.BatchSize = DefaultBatchSize
+			if err := op.Open(ctx); err != nil {
+				t.Fatal(err)
+			}
+			bop := op.(BatchOperator)
+			var dst Batch
+			// Warm up: pull a few batches so scratch buffers, selection
+			// vectors, and pooled row storage reach steady-state size.
+			for i := 0; i < 8; i++ {
+				dst.Reset()
+				if err := bop.NextBatch(ctx, &dst, DefaultBatchSize); err != nil {
+					t.Fatal(err)
+				}
+				if dst.Len() == 0 {
+					t.Fatalf("input exhausted during warmup")
+				}
+			}
+			got := testing.AllocsPerRun(40, func() {
+				dst.Reset()
+				if err := bop.NextBatch(ctx, &dst, DefaultBatchSize); err != nil {
+					t.Fatal(err)
+				}
+				if dst.Len() == 0 {
+					t.Fatalf("input exhausted during measurement")
+				}
+			})
+			if err := op.Close(ctx); err != nil {
+				t.Fatal(err)
+			}
+			if got > want {
+				t.Errorf("%s steady-state NextBatch allocates %.1f/op, budget %.1f (testdata/alloc_budget.json)",
+					tc.name, got, want)
+			}
+		})
+	}
+}

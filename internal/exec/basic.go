@@ -14,7 +14,9 @@ import (
 type Select struct {
 	Child Operator
 	Pred  expr.Expr
-	in    Batch // batch-mode scratch for child pulls
+	in    Batch      // batch-mode scratch for child pulls
+	kern  *expr.Pred // compiled predicate (ctx.Kernels batch path)
+	useK  bool
 }
 
 // NewSelect builds a selection.
@@ -27,6 +29,15 @@ func (s *Select) Schema() *schema.Schema { return s.Child.Schema() }
 
 // Open implements Operator.
 func (s *Select) Open(ctx *Context) error {
+	s.useK = ctx.Kernels && s.Pred != nil
+	if s.useK && s.kern == nil {
+		// Compile once, before BindParams rewrites Param slots to
+		// literals; Bind refreshes the bindings on every re-Open.
+		s.kern = expr.CompilePred(s.Pred)
+	}
+	if s.kern != nil {
+		s.kern.Bind(ctx.Params)
+	}
 	s.Pred = expr.BindParams(s.Pred, ctx.Params)
 	s.in.Reset()
 	return s.Child.Open(ctx)
@@ -43,7 +54,12 @@ func (s *Select) Next(ctx *Context) (value.Row, bool, error) {
 			return nil, false, err
 		}
 		ctx.Counter.CPUTuples++
-		keep, err := expr.EvalBool(s.Pred, r)
+		var keep bool
+		if s.useK {
+			keep, err = s.kern.EvalRow(r)
+		} else {
+			keep, err = expr.EvalBool(s.Pred, r)
+		}
 		if err != nil {
 			return nil, false, err
 		}
@@ -57,7 +73,10 @@ func (s *Select) Next(ctx *Context) (value.Row, bool, error) {
 // the output budget and keep the qualifying rows, charging one CPU
 // operation per evaluated row, accumulated locally and flushed once per
 // batch (and before an evaluation error propagates, mirroring the row
-// form's charge-then-evaluate order).
+// form's charge-then-evaluate order). With kernels enabled the whole
+// batch goes through the compiled predicate's selection vector; the
+// kernel reports how many rows the row loop would have evaluated, so
+// the charge — including a failing row's — is identical.
 func (s *Select) NextBatch(ctx *Context, dst *Batch, max int) error {
 	var cpu int64
 	defer func() { ctx.Counter.CPUTuples += cpu }()
@@ -68,6 +87,17 @@ func (s *Select) NextBatch(ctx *Context, dst *Batch, max int) error {
 		}
 		if s.in.Len() == 0 {
 			return nil
+		}
+		if s.useK {
+			sel, evaluated, err := s.kern.SelectBatch(s.in.Rows)
+			cpu += int64(evaluated)
+			if err != nil {
+				return err
+			}
+			for _, ri := range sel {
+				dst.Rows = append(dst.Rows, s.in.Rows[ri])
+			}
+			continue
 		}
 		for _, r := range s.in.Rows {
 			cpu++
@@ -92,6 +122,13 @@ type Project struct {
 	Exprs []expr.Expr
 	Out   *schema.Schema
 	in    Batch // batch-mode scratch for child pulls
+
+	// Kernel-path state (ctx.Kernels): output rows are carved from an
+	// arena instead of allocated per row, and an all-column projection
+	// precomputes its index list so evaluation is a pair of copies.
+	useK   bool
+	colIdx []int
+	arena  value.RowArena
 }
 
 // NewProject builds a projection with an explicit output schema.
@@ -115,8 +152,53 @@ func (p *Project) Schema() *schema.Schema { return p.Out }
 // Open implements Operator.
 func (p *Project) Open(ctx *Context) error {
 	p.Exprs = expr.BindParamsList(p.Exprs, ctx.Params)
+	p.useK = ctx.Kernels
+	if p.useK && p.colIdx == nil {
+		idx := make([]int, len(p.Exprs))
+		for i, e := range p.Exprs {
+			c, ok := e.(expr.Col)
+			if !ok {
+				idx = nil
+				break
+			}
+			idx[i] = c.Idx
+		}
+		p.colIdx = idx
+	}
 	p.in.Reset()
 	return p.Child.Open(ctx)
+}
+
+// evalRow computes one output row, arena-backed on the kernel path. The
+// all-column shape copies values directly; Col.Eval's range check is
+// preserved verbatim.
+func (p *Project) evalRow(r value.Row) (value.Row, error) {
+	if p.useK && p.colIdx != nil {
+		inRange := true
+		for _, j := range p.colIdx {
+			if j < 0 || j >= len(r) {
+				inRange = false // fall through: Col.Eval produces the exact error
+				break
+			}
+		}
+		if inRange {
+			return p.arena.Project(r, p.colIdx), nil
+		}
+	}
+	var out value.Row
+	if p.useK {
+		out = p.arena.Make(len(p.Exprs))
+	} else {
+		out = make(value.Row, len(p.Exprs))
+	}
+	for i, e := range p.Exprs {
+		v, err := e.Eval(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
 }
 
 // Next implements Operator.
@@ -126,13 +208,9 @@ func (p *Project) Next(ctx *Context) (value.Row, bool, error) {
 		return nil, false, err
 	}
 	ctx.Counter.CPUTuples++
-	out := make(value.Row, len(p.Exprs))
-	for i, e := range p.Exprs {
-		v, err := e.Eval(r)
-		if err != nil {
-			return nil, false, err
-		}
-		out[i] = v
+	out, err := p.evalRow(r)
+	if err != nil {
+		return nil, false, err
 	}
 	return out, true, nil
 }
@@ -148,13 +226,9 @@ func (p *Project) NextBatch(ctx *Context, dst *Batch, max int) error {
 	defer func() { ctx.Counter.CPUTuples += cpu }()
 	for _, r := range p.in.Rows {
 		cpu++
-		out := make(value.Row, len(p.Exprs))
-		for i, e := range p.Exprs {
-			v, err := e.Eval(r)
-			if err != nil {
-				return err
-			}
-			out[i] = v
+		out, err := p.evalRow(r)
+		if err != nil {
+			return err
 		}
 		dst.Rows = append(dst.Rows, out)
 	}
@@ -171,6 +245,13 @@ type Distinct struct {
 	Child Operator
 	seen  map[string]bool
 	in    Batch // batch-mode scratch for child pulls
+
+	// Kernel-path state (ctx.Kernels): the seen-set is a RowTable over
+	// byte-encoded full keys with one reused scratch buffer, so the
+	// steady state allocates only when a new distinct key is retained.
+	useTable bool
+	ht       RowTable
+	keyBuf   []byte
 }
 
 // NewDistinct builds a hash-based duplicate eliminator.
@@ -181,9 +262,31 @@ func (d *Distinct) Schema() *schema.Schema { return d.Child.Schema() }
 
 // Open implements Operator.
 func (d *Distinct) Open(ctx *Context) error {
-	d.seen = map[string]bool{}
+	d.useTable = ctx.Kernels
+	if d.useTable {
+		d.seen = nil
+		d.ht.Init(0)
+	} else {
+		d.seen = map[string]bool{}
+	}
+	d.keyBuf = d.keyBuf[:0]
 	d.in.Reset()
 	return d.Child.Open(ctx)
+}
+
+// firstSeen reports whether r's full key is new, recording it.
+func (d *Distinct) firstSeen(r value.Row) bool {
+	if d.useTable {
+		d.keyBuf = r.AppendFullKey(d.keyBuf[:0])
+		_, added := d.ht.Insert(d.keyBuf)
+		return added
+	}
+	k := r.FullKey()
+	if d.seen[k] {
+		return false
+	}
+	d.seen[k] = true
+	return true
 }
 
 // Next implements Operator.
@@ -197,12 +300,9 @@ func (d *Distinct) Next(ctx *Context) (value.Row, bool, error) {
 			return nil, false, err
 		}
 		ctx.Counter.CPUTuples++
-		k := r.FullKey()
-		if d.seen[k] {
-			continue
+		if d.firstSeen(r) {
+			return r, true, nil
 		}
-		d.seen[k] = true
-		return r, true, nil
 	}
 }
 
@@ -220,12 +320,9 @@ func (d *Distinct) NextBatch(ctx *Context, dst *Batch, max int) error {
 		var cpu int64
 		for _, r := range d.in.Rows {
 			cpu++
-			k := r.FullKey()
-			if d.seen[k] {
-				continue
+			if d.firstSeen(r) {
+				dst.Rows = append(dst.Rows, r)
 			}
-			d.seen[k] = true
-			dst.Rows = append(dst.Rows, r)
 		}
 		ctx.Counter.CPUTuples += cpu
 	}

@@ -36,6 +36,7 @@ func NewWorkerContext(parent *Context) *Context {
 	w := NewContext()
 	if parent != nil {
 		w.Caller = parent.Caller
+		w.Kernels = parent.Kernels
 	}
 	return w
 }

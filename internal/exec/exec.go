@@ -65,6 +65,14 @@ type Context struct {
 	// selectivity class. Empty for non-parameterized plans.
 	Params []value.Value
 
+	// Kernels enables the vectorized evaluation layer (DESIGN.md §14):
+	// predicates compiled to batch kernels with selection vectors, and
+	// open-addressing hash tables over byte-encoded keys in place of
+	// string-keyed maps. Rows, order and Counter totals are bit-identical
+	// either way; off exists for ablation (EXPLAIN kernels=off) and as
+	// the reference the differential fuzz compares against.
+	Kernels bool
+
 	// ops collects the stats block of every Instrumented shim that ran
 	// under this context, in first-Open order.
 	ops []*OpStats
@@ -73,9 +81,10 @@ type Context struct {
 	stack []*Instrumented
 }
 
-// NewContext returns a context with a fresh counter.
+// NewContext returns a context with a fresh counter. Kernels default to
+// the process-wide setting (on unless FILTERJOIN_KERNELS disables them).
 func NewContext() *Context {
-	return &Context{Counter: &cost.Counter{}}
+	return &Context{Counter: &cost.Counter{}, Kernels: EnvKernels()}
 }
 
 // Err reports why execution should stop: the caller context's

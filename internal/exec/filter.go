@@ -14,6 +14,15 @@ type KeySet struct {
 	keys  map[string]bool
 	rows  []value.Row
 	width int
+
+	// Kernel-path backend (DESIGN.md §14): an open-addressing RowTable
+	// over canonical byte keys replaces the string map, with keyBuf as
+	// the build-time encoding scratch. Membership semantics are
+	// identical; only the representation changes. Probes must supply
+	// their own scratch (ContainsBuf) when the set is shared.
+	useTable bool
+	ht       RowTable
+	keyBuf   []byte
 }
 
 // NewKeySet creates an empty key set for keys of the given width.
@@ -31,6 +40,18 @@ func NewKeySetSized(width, hint int) *KeySet {
 	}
 }
 
+// NewKeySetTableSized is NewKeySetSized on the allocation-free RowTable
+// backend (the ctx.Kernels path).
+func NewKeySetTableSized(width, hint int) *KeySet {
+	ks := &KeySet{
+		rows:     make([]value.Row, 0, hint),
+		width:    width,
+		useTable: true,
+	}
+	ks.ht.Init(hint)
+	return ks
+}
+
 // BuildKeySet drains op, projecting each row onto keyIdx, and returns the
 // distinct key set. One CPU operation is charged per input row.
 func BuildKeySet(ctx *Context, op Operator, keyIdx []int) (*KeySet, error) {
@@ -41,7 +62,12 @@ func BuildKeySet(ctx *Context, op Operator, keyIdx []int) (*KeySet, error) {
 // optimizer's cardinality estimate (0 = unknown); the hint pre-sizes the
 // set's hash table and row buffer and has no effect on the result.
 func BuildKeySetSized(ctx *Context, op Operator, keyIdx []int, hint int) (*KeySet, error) {
-	ks := NewKeySetSized(len(keyIdx), hint)
+	var ks *KeySet
+	if ctx.Kernels {
+		ks = NewKeySetTableSized(len(keyIdx), hint)
+	} else {
+		ks = NewKeySetSized(len(keyIdx), hint)
+	}
 	if err := op.Open(ctx); err != nil {
 		return nil, err
 	}
@@ -58,6 +84,13 @@ func BuildKeySetSized(ctx *Context, op Operator, keyIdx []int, hint int) (*KeySe
 
 // Add inserts a key row.
 func (s *KeySet) Add(key value.Row) {
+	if s.useTable {
+		s.keyBuf = key.AppendFullKey(s.keyBuf[:0])
+		if _, added := s.ht.Insert(s.keyBuf); added {
+			s.rows = append(s.rows, key)
+		}
+		return
+	}
 	k := key.FullKey()
 	if s.keys[k] {
 		return
@@ -66,9 +99,25 @@ func (s *KeySet) Add(key value.Row) {
 	s.rows = append(s.rows, key)
 }
 
-// Contains tests membership of the projection of r onto keyIdx.
+// Contains tests membership of the projection of r onto keyIdx. It is
+// safe for concurrent probes (it never touches the set's scratch); hot
+// callers holding their own scratch buffer should use ContainsBuf.
 func (s *KeySet) Contains(r value.Row, keyIdx []int) bool {
+	if s.useTable {
+		return s.ht.Lookup(r.AppendKey(nil, keyIdx)) >= 0
+	}
 	return s.keys[r.Key(keyIdx)]
+}
+
+// ContainsBuf is Contains with a caller-supplied encoding scratch so
+// per-probe allocation is zero; it returns the (possibly grown) buffer
+// for reuse. Each concurrent prober must own its buffer.
+func (s *KeySet) ContainsBuf(r value.Row, keyIdx []int, buf []byte) ([]byte, bool) {
+	if s.useTable {
+		buf = r.AppendKey(buf[:0], keyIdx)
+		return buf, s.ht.Lookup(buf) >= 0
+	}
+	return buf, s.keys[r.Key(keyIdx)]
 }
 
 // Len returns the number of distinct keys.
@@ -100,7 +149,8 @@ type KeySetFilter struct {
 	Child  Operator
 	Set    *KeySet
 	KeyIdx []int
-	in     Batch // batch-mode scratch for child pulls
+	in     Batch  // batch-mode scratch for child pulls
+	buf    []byte // private probe-key scratch (sets may be shared)
 }
 
 // NewKeySetFilter builds an exact filter-set restriction.
@@ -114,6 +164,7 @@ func (f *KeySetFilter) Schema() *schema.Schema { return f.Child.Schema() }
 // Open implements Operator.
 func (f *KeySetFilter) Open(ctx *Context) error {
 	f.in.Reset()
+	f.buf = f.buf[:0]
 	return f.Child.Open(ctx)
 }
 
@@ -128,7 +179,9 @@ func (f *KeySetFilter) Next(ctx *Context) (value.Row, bool, error) {
 			return nil, false, err
 		}
 		ctx.Counter.CPUTuples++
-		if f.Set.Contains(r, f.KeyIdx) {
+		var hit bool
+		f.buf, hit = f.Set.ContainsBuf(r, f.KeyIdx, f.buf)
+		if hit {
 			return r, true, nil
 		}
 	}
@@ -149,7 +202,9 @@ func (f *KeySetFilter) NextBatch(ctx *Context, dst *Batch, max int) error {
 		var cpu int64
 		for _, r := range f.in.Rows {
 			cpu++
-			if f.Set.Contains(r, f.KeyIdx) {
+			var hit bool
+			f.buf, hit = f.Set.ContainsBuf(r, f.KeyIdx, f.buf)
+			if hit {
 				dst.Rows = append(dst.Rows, r)
 			}
 		}

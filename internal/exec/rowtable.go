@@ -1,0 +1,152 @@
+package exec
+
+import "filterjoin/internal/value"
+
+// RowTable is the allocation-free replacement for the map[string]-keyed
+// hash paths (DESIGN.md §14): an open-addressing table over 64-bit FNV
+// hashes of canonical key encodings (value.Row.AppendKey), with the key
+// bytes themselves packed into one arena and verified in full on every
+// hash hit — so its equality relation is exactly the string map's.
+// Values never live in the table: it assigns each distinct key a dense
+// id (0, 1, 2, …) in first-insertion order, and operators index their
+// own payload slices (bucket chains, group states) by that id.
+//
+// Init pre-sizes from the optimizer's cardinality hint; Grows counts
+// doublings after that, which the pre-sizing regression test pins to
+// zero on hinted builds.
+type RowTable struct {
+	slots []rtSlot
+	mask  uint64
+	arena []byte
+	spans []rtSpan
+	grows int
+}
+
+type rtSlot struct {
+	hash uint64
+	id   int32 // 0 = empty, else key id + 1
+}
+
+type rtSpan struct{ off, end uint32 }
+
+// rtMaxLoad is the occupancy numerator/denominator: grow when
+// n+1 > 3/4 of capacity.
+const rtMaxLoadNum, rtMaxLoadDen = 3, 4
+
+func rtCapFor(hint int) int {
+	c := 8
+	for hint > 0 && c*rtMaxLoadNum < hint*rtMaxLoadDen {
+		c <<= 1
+	}
+	return c
+}
+
+// Init empties the table and pre-sizes it so hint insertions need no
+// growth. Storage is kept across Init cycles, so a re-Opened operator
+// rebuilds without reallocating.
+func (t *RowTable) Init(hint int) {
+	need := rtCapFor(hint)
+	if cap(t.slots) >= need {
+		t.slots = t.slots[:max(len(t.slots), need)]
+		for i := range t.slots {
+			t.slots[i] = rtSlot{}
+		}
+	} else {
+		t.slots = make([]rtSlot, need)
+	}
+	t.mask = uint64(len(t.slots) - 1)
+	t.arena = t.arena[:0]
+	t.spans = t.spans[:0]
+	t.grows = 0
+}
+
+// Len returns the number of distinct keys inserted.
+func (t *RowTable) Len() int { return len(t.spans) }
+
+// Grows returns the number of capacity doublings since Init.
+func (t *RowTable) Grows() int { return t.grows }
+
+// Key returns the stored key bytes for id, valid until the next Init.
+func (t *RowTable) Key(id int32) []byte {
+	s := t.spans[id]
+	return t.arena[s.off:s.end]
+}
+
+func (t *RowTable) keyEq(id int32, key []byte) bool {
+	s := t.spans[id]
+	stored := t.arena[s.off:s.end]
+	if len(stored) != len(key) {
+		return false
+	}
+	for i, b := range key {
+		if stored[i] != b {
+			return false
+		}
+	}
+	return true
+}
+
+// Insert adds key if absent and returns its dense id plus whether it was
+// newly added. The key bytes are copied into the arena; callers reuse
+// their scratch buffer immediately.
+func (t *RowTable) Insert(key []byte) (id int32, added bool) {
+	if len(t.slots) == 0 {
+		t.Init(0)
+	}
+	if (len(t.spans)+1)*rtMaxLoadDen > len(t.slots)*rtMaxLoadNum {
+		t.grow()
+	}
+	h := value.HashBytes(key)
+	i := h & t.mask
+	for {
+		s := &t.slots[i]
+		if s.id == 0 {
+			off := len(t.arena)
+			t.arena = append(t.arena, key...)
+			t.spans = append(t.spans, rtSpan{off: uint32(off), end: uint32(len(t.arena))})
+			s.hash = h
+			s.id = int32(len(t.spans))
+			return s.id - 1, true
+		}
+		if s.hash == h && t.keyEq(s.id-1, key) {
+			return s.id - 1, false
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// Lookup returns the id for key, or -1 when absent.
+func (t *RowTable) Lookup(key []byte) int32 {
+	if len(t.slots) == 0 {
+		return -1
+	}
+	h := value.HashBytes(key)
+	i := h & t.mask
+	for {
+		s := &t.slots[i]
+		if s.id == 0 {
+			return -1
+		}
+		if s.hash == h && t.keyEq(s.id-1, key) {
+			return s.id - 1
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+func (t *RowTable) grow() {
+	old := t.slots
+	t.slots = make([]rtSlot, 2*len(old))
+	t.mask = uint64(len(t.slots) - 1)
+	t.grows++
+	for _, s := range old {
+		if s.id == 0 {
+			continue
+		}
+		i := s.hash & t.mask
+		for t.slots[i].id != 0 {
+			i = (i + 1) & t.mask
+		}
+		t.slots[i] = s
+	}
+}

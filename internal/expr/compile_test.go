@@ -1,0 +1,222 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+
+	"filterjoin/internal/value"
+)
+
+// refSelect is the row-major reference: the exact loop the interpreted
+// Select runs, returning the qualifying rows, the number of rows
+// evaluated (for CPU-charge parity) and the first error.
+func refSelect(e Expr, rows []value.Row) (sel []int32, evaluated int, err error) {
+	for i, r := range rows {
+		ok, err := EvalBool(e, r)
+		if err != nil {
+			return nil, i + 1, err
+		}
+		if ok {
+			sel = append(sel, int32(i))
+		}
+	}
+	return sel, len(rows), nil
+}
+
+func randValue(rng *rand.Rand) value.Value {
+	switch rng.Intn(6) {
+	case 0:
+		return value.Null
+	case 1:
+		return value.NewInt(int64(rng.Intn(7) - 3))
+	case 2:
+		return value.NewFloat(float64(rng.Intn(7)-3) / 2)
+	case 3:
+		return value.NewString(string(rune('a' + rng.Intn(4))))
+	case 4:
+		return value.NewBool(rng.Intn(2) == 0)
+	default:
+		return value.NewInt(int64(rng.Intn(100)))
+	}
+}
+
+// randOperand emits Col/Lit/Param leaves; width is the nominal row
+// width, occasionally exceeded so column-range errors get exercised.
+func randOperand(rng *rand.Rand, width int) Expr {
+	switch rng.Intn(8) {
+	case 0, 1, 2:
+		return Lit{V: randValue(rng)}
+	case 3:
+		return Param{Idx: rng.Intn(4), V: randValue(rng), Has: rng.Intn(3) > 0}
+	case 4:
+		// Out-of-range column (or negative): must error identically.
+		if rng.Intn(2) == 0 {
+			return Col{Idx: width + rng.Intn(2)}
+		}
+		return Col{Idx: -1}
+	default:
+		return Col{Idx: rng.Intn(width)}
+	}
+}
+
+func randPredicate(rng *rand.Rand, width, depth int) Expr {
+	ops := []CmpOp{EQ, NE, LT, LE, GT, GE}
+	if depth <= 0 || rng.Intn(3) == 0 {
+		l := randOperand(rng, width)
+		r := randOperand(rng, width)
+		if rng.Intn(5) == 0 {
+			// Arithmetic operand forces the interpreter fallback,
+			// including type errors and division by zero.
+			aops := []ArithOp{Add, Sub, Mul, Div}
+			l = Arith{Op: aops[rng.Intn(4)], L: l, R: randOperand(rng, width)}
+		}
+		c := Cmp{Op: ops[rng.Intn(6)], L: l, R: r}
+		if rng.Intn(4) == 0 {
+			return Not{Kid: c}
+		}
+		return c
+	}
+	n := 2 + rng.Intn(2)
+	kids := make([]Expr, n)
+	for i := range kids {
+		kids[i] = randPredicate(rng, width, depth-1)
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return And{Kids: kids}
+	case 1:
+		return Or{Kids: kids}
+	default:
+		return Not{Kid: kids[0]}
+	}
+}
+
+func randRows(rng *rand.Rand, width, n int) []value.Row {
+	rows := make([]value.Row, n)
+	for i := range rows {
+		r := make(value.Row, width)
+		for j := range r {
+			r[j] = randValue(rng)
+		}
+		rows[i] = r
+	}
+	return rows
+}
+
+func checkAgainstRef(t *testing.T, trial int, e Expr, p *Pred, params []value.Value, rows []value.Row) {
+	t.Helper()
+	bound := BindParams(e, params)
+	wantSel, wantN, wantErr := refSelect(bound, rows)
+	gotSel, gotN, gotErr := p.SelectBatch(rows)
+	if gotN != wantN {
+		t.Fatalf("trial %d: evaluated %d rows, interpreter evaluated %d\nexpr: %s", trial, gotN, wantN, e)
+	}
+	if (gotErr == nil) != (wantErr == nil) || (gotErr != nil && gotErr.Error() != wantErr.Error()) {
+		t.Fatalf("trial %d: error %v, interpreter error %v\nexpr: %s", trial, gotErr, wantErr, e)
+	}
+	if gotErr == nil {
+		if len(gotSel) != len(wantSel) {
+			t.Fatalf("trial %d: selected %d rows, interpreter selected %d\nexpr: %s", trial, len(gotSel), len(wantSel), e)
+		}
+		for i := range gotSel {
+			if gotSel[i] != wantSel[i] {
+				t.Fatalf("trial %d: sel[%d] = %d, interpreter %d\nexpr: %s", trial, i, gotSel[i], wantSel[i], e)
+			}
+		}
+	}
+	// EvalRow must agree with EvalBool row by row.
+	for i, r := range rows {
+		wantOK, wantErr := EvalBool(bound, r)
+		gotOK, gotErr := p.EvalRow(r)
+		if gotOK != wantOK || (gotErr == nil) != (wantErr == nil) ||
+			(gotErr != nil && gotErr.Error() != wantErr.Error()) {
+			t.Fatalf("trial %d row %d: EvalRow = (%v, %v), EvalBool = (%v, %v)\nexpr: %s",
+				trial, i, gotOK, gotErr, wantOK, wantErr, e)
+		}
+	}
+}
+
+// TestSelectBatchMatchesEvalBool is the kernel/interpreter differential:
+// on randomized expressions over every value kind — NULL propagation,
+// Param bindings (bound, rebound, unbound, out-of-range), arithmetic
+// fallbacks, column-range errors — the compiled predicate must select
+// the same rows in the same order, and an erroring row must surface the
+// same error at the same position with the same evaluated-row count.
+func TestSelectBatchMatchesEvalBool(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 400; trial++ {
+		width := 1 + rng.Intn(4)
+		e := randPredicate(rng, width, 3)
+		rows := randRows(rng, width, rng.Intn(40))
+		p := CompilePred(e)
+
+		var params []value.Value
+		if rng.Intn(3) > 0 {
+			params = make([]value.Value, rng.Intn(5))
+			for i := range params {
+				params[i] = randValue(rng)
+			}
+		}
+		p.Bind(params)
+		checkAgainstRef(t, trial, e, p, params, rows)
+
+		// Rebind with fresh values — no recompile — and re-run, plus a
+		// second batch through the same Pred to exercise scratch reuse.
+		params2 := make([]value.Value, rng.Intn(5))
+		for i := range params2 {
+			params2[i] = randValue(rng)
+		}
+		p.Bind(params2)
+		checkAgainstRef(t, trial, e, p, params2, rows)
+		checkAgainstRef(t, trial, e, p, params2, randRows(rng, width, rng.Intn(60)))
+	}
+}
+
+// TestSelectBatchEmptyShapes pins the degenerate connectives: empty And
+// selects everything, empty Or selects nothing.
+func TestSelectBatchEmptyShapes(t *testing.T) {
+	rows := randRows(rand.New(rand.NewSource(7)), 2, 5)
+	for _, tc := range []struct {
+		e    Expr
+		want int
+	}{
+		{And{}, 5},
+		{Or{}, 0},
+	} {
+		p := CompilePred(tc.e)
+		p.Bind(nil)
+		sel, n, err := p.SelectBatch(rows)
+		if err != nil || n != 5 || len(sel) != tc.want {
+			t.Errorf("%s: sel=%d n=%d err=%v, want sel=%d n=5", tc.e, len(sel), n, err, tc.want)
+		}
+	}
+	if CompilePred(nil) != nil {
+		t.Error("CompilePred(nil) should be nil")
+	}
+}
+
+// TestSelectBatchAllocFree pins the steady state: after the first batch
+// warms the selection scratch, compiled evaluation allocates nothing.
+func TestSelectBatchAllocFree(t *testing.T) {
+	e := And{Kids: []Expr{
+		Cmp{Op: GT, L: Col{Idx: 0}, R: Lit{V: value.NewInt(10)}},
+		Cmp{Op: LT, L: Col{Idx: 1}, R: Lit{V: value.NewString("x")}},
+		Or{Kids: []Expr{
+			Cmp{Op: EQ, L: Col{Idx: 2}, R: Lit{V: value.NewFloat(1.5)}},
+			Cmp{Op: NE, L: Col{Idx: 0}, R: Col{Idx: 2}},
+		}},
+	}}
+	rows := randRows(rand.New(rand.NewSource(3)), 3, 1024)
+	p := CompilePred(e)
+	p.Bind(nil)
+	if _, _, err := p.SelectBatch(rows); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(50, func() {
+		if _, _, err := p.SelectBatch(rows); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("SelectBatch allocates %.1f/op in steady state, want 0", n)
+	}
+}

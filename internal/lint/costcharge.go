@@ -115,7 +115,7 @@ func runCostcharge(pass *analysis.Pass) error {
 						goPos = fd
 					}
 				case *ast.CallExpr:
-					if isPkgCall(pass, x, "sort") || isPkgCall(pass, x, "heap") {
+					if isPkgCall(pass, x, "sort") || isPkgCall(pass, x, "heap") || isKernelCall(pass, x) {
 						if workPos == nil {
 							workPos = fd
 						}
@@ -198,6 +198,28 @@ func isPkgCall(pass *analysis.Pass, call *ast.CallExpr, pkgName string) bool {
 	}
 	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
 	return ok && pn.Imported().Name() == pkgName
+}
+
+// isKernelCall reports whether call invokes a compiled expression
+// kernel's batch entry point (expr.Pred.SelectBatch or EvalBatch): the
+// kernel loops over the whole batch internally, so the call is row work
+// — chargeable per the kernel's returned evaluated-row count — even
+// though no loop appears in the operator body.
+func isKernelCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "SelectBatch" && sel.Sel.Name != "EvalBatch") {
+		return false
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	recv := s.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && named.Obj().Name() == "Pred" && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "filterjoin/internal/expr"
 }
 
 // isAbsorbCall reports whether call invokes exec.Context.Absorb, the

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"filterjoin/internal/exec"
+	"filterjoin/internal/expr"
 	"filterjoin/internal/schema"
 	"filterjoin/internal/value"
 )
@@ -272,3 +273,72 @@ func (b *batchFree) NextBatch(ctx *exec.Context, dst *exec.Batch, max int) error
 }
 
 func (b *batchFree) Close(ctx *exec.Context) error { return b.child.Close(ctx) }
+
+// kernelFree delegates its per-row loop to a compiled expression kernel
+// (expr.Pred.SelectBatch): the loop lives inside the kernel, not the
+// operator body, but the call is row work all the same and must be
+// charged from the kernel's evaluated-row count.
+type kernelFree struct {
+	child exec.Operator
+	kern  *expr.Pred
+	in    exec.Batch
+}
+
+func (k *kernelFree) Schema() *schema.Schema { return nil }
+
+func (k *kernelFree) Open(ctx *exec.Context) error { return k.child.Open(ctx) }
+
+func (k *kernelFree) Next(ctx *exec.Context) (value.Row, bool, error) {
+	return k.child.Next(ctx)
+}
+
+func (k *kernelFree) NextBatch(ctx *exec.Context, dst *exec.Batch, max int) error { // want "kernelFree.NextBatch does row work but no method of kernelFree reachable from Open/Next/NextBatch charges ctx.Counter"
+	k.in.Reset()
+	if err := exec.FillBatch(ctx, k.child, &k.in, max); err != nil {
+		return err
+	}
+	sel, _, err := k.kern.SelectBatch(k.in.Rows)
+	if err != nil {
+		return err
+	}
+	if len(sel) > 0 {
+		dst.Rows = append(dst.Rows, k.in.Rows[sel[0]])
+	}
+	return nil
+}
+
+func (k *kernelFree) Close(ctx *exec.Context) error { return k.child.Close(ctx) }
+
+// kernelCharging runs the same kernel but flushes the kernel's
+// evaluated-row count to the ledger — the batch kernel idiom.
+type kernelCharging struct {
+	child exec.Operator
+	kern  *expr.Pred
+	in    exec.Batch
+}
+
+func (k *kernelCharging) Schema() *schema.Schema { return nil }
+
+func (k *kernelCharging) Open(ctx *exec.Context) error { return k.child.Open(ctx) }
+
+func (k *kernelCharging) Next(ctx *exec.Context) (value.Row, bool, error) {
+	return k.child.Next(ctx)
+}
+
+func (k *kernelCharging) NextBatch(ctx *exec.Context, dst *exec.Batch, max int) error {
+	k.in.Reset()
+	if err := exec.FillBatch(ctx, k.child, &k.in, max); err != nil {
+		return err
+	}
+	sel, evaluated, err := k.kern.SelectBatch(k.in.Rows)
+	ctx.Counter.CPUTuples += int64(evaluated)
+	if err != nil {
+		return err
+	}
+	if len(sel) > 0 {
+		dst.Rows = append(dst.Rows, k.in.Rows[sel[0]])
+	}
+	return nil
+}
+
+func (k *kernelCharging) Close(ctx *exec.Context) error { return k.child.Close(ctx) }

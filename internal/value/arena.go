@@ -1,0 +1,52 @@
+package value
+
+// RowArena carves output rows out of chunked Value slabs so operators
+// that materialize rows per batch (Project outputs, join concatenations)
+// pay one slab allocation per few thousand values instead of one
+// allocation per row. Rows handed out are full-capacity-sliced, so a
+// consumer appending to one cannot tromp on its neighbors.
+//
+// The arena never reuses a slab: rows flow downstream and may be
+// retained (Drain keeps row headers past Reset), so slabs stay reachable
+// exactly as long as some emitted row references them.
+type RowArena struct {
+	chunk []Value
+}
+
+const arenaChunkValues = 4096
+
+// Make returns a zeroed row of n values carved from the current slab.
+func (a *RowArena) Make(n int) Row {
+	if n == 0 {
+		return Row{}
+	}
+	if cap(a.chunk)-len(a.chunk) < n {
+		c := arenaChunkValues
+		if n > c {
+			c = n
+		}
+		a.chunk = make([]Value, 0, c)
+	}
+	s := len(a.chunk)
+	a.chunk = a.chunk[:s+n]
+	return Row(a.chunk[s : s+n : s+n])
+}
+
+// Concat returns l followed by r as an arena-backed row, the arena form
+// of Row.Concat.
+func (a *RowArena) Concat(l, r Row) Row {
+	out := a.Make(len(l) + len(r))
+	copy(out, l)
+	copy(out[len(l):], r)
+	return out
+}
+
+// Project returns r's values at idx as an arena-backed row, the arena
+// form of Row.Project.
+func (a *RowArena) Project(r Row, idx []int) Row {
+	out := a.Make(len(idx))
+	for i, j := range idx {
+		out[i] = r[j]
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package value
+
+import (
+	"hash/fnv"
+	"math"
+	"testing"
+)
+
+// testValues covers every kind plus the encoding edge cases: integral
+// floats folding to ints, negative zero, negatives, empty and separator-
+// bearing strings.
+var testValues = []Value{
+	Null,
+	NewInt(0), NewInt(1), NewInt(-1), NewInt(42), NewInt(math.MaxInt64), NewInt(math.MinInt64 + 1),
+	NewFloat(0), NewFloat(math.Copysign(0, -1)), NewFloat(3), NewFloat(-17), NewFloat(3.25),
+	NewFloat(-2.5), NewFloat(1e300), NewFloat(math.SmallestNonzeroFloat64),
+	NewString(""), NewString("a"), NewString("i42|"), NewString("s3:abc|"), NewString("héllo"),
+	NewBool(true), NewBool(false),
+}
+
+// refHash is the pre-inline implementation of Value.Hash, kept verbatim
+// (hash/fnv + little-endian payload bytes) so the allocation-free inline
+// version is pinned bit-for-bit. Bloom-filter behavior — and hence cost
+// counter totals in goldens — depends on these digests not moving.
+func refHash(v Value) uint64 {
+	h := fnv.New64a()
+	var buf [9]byte
+	put := func(b []byte, u uint64) {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(u >> (8 * i))
+		}
+	}
+	switch v.Kind() {
+	case KindNull:
+		buf[0] = 0
+		h.Write(buf[:1])
+	case KindInt:
+		buf[0] = 1
+		put(buf[1:], uint64(v.Int()))
+		h.Write(buf[:9])
+	case KindFloat:
+		f := v.Float()
+		if f == math.Trunc(f) && f >= math.MinInt64 && f <= math.MaxInt64 {
+			buf[0] = 1
+			put(buf[1:], uint64(int64(f)))
+			h.Write(buf[:9])
+		} else {
+			buf[0] = 2
+			put(buf[1:], math.Float64bits(f))
+			h.Write(buf[:9])
+		}
+	case KindString:
+		buf[0] = 3
+		h.Write(buf[:1])
+		h.Write([]byte(v.Str()))
+	case KindBool:
+		buf[0] = 4
+		if v.Bool() {
+			buf[1] = 1
+		}
+		h.Write(buf[:2])
+	}
+	return h.Sum64()
+}
+
+func TestHashMatchesReference(t *testing.T) {
+	for _, v := range testValues {
+		if got, want := v.Hash(), refHash(v); got != want {
+			t.Errorf("Hash(%s %s) = %#x, reference fnv = %#x", v.Kind(), v, got, want)
+		}
+	}
+}
+
+func TestHashBytesMatchesFnv(t *testing.T) {
+	for _, s := range []string{"", "a", "i42|s3:abc|", "héllo"} {
+		h := fnv.New64a()
+		h.Write([]byte(s))
+		if got, want := HashBytes([]byte(s)), h.Sum64(); got != want {
+			t.Errorf("HashBytes(%q) = %#x, fnv = %#x", s, got, want)
+		}
+	}
+}
+
+func TestHashAllocFree(t *testing.T) {
+	r := Row{NewInt(7), NewString("abc"), NewFloat(2.5)}
+	idx := []int{0, 1, 2}
+	if n := testing.AllocsPerRun(100, func() { _ = r.HashKey(idx) }); n != 0 {
+		t.Errorf("HashKey allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestAppendKeyMatchesKey(t *testing.T) {
+	var buf []byte
+	for i, a := range testValues {
+		for _, b := range testValues {
+			r := Row{a, b, a}
+			idx := []int{2, 0, 1}
+			buf = r.AppendKey(buf[:0], idx)
+			if got, want := string(buf), r.Key(idx); got != want {
+				t.Fatalf("AppendKey(%s,%s) = %q, Key = %q", a, b, got, want)
+			}
+			buf = r.AppendFullKey(buf[:0])
+			if got, want := string(buf), r.FullKey(); got != want {
+				t.Fatalf("AppendFullKey(%s,%s) = %q, FullKey = %q", a, b, got, want)
+			}
+		}
+		// Distinct values must encode distinctly, except the deliberate
+		// int/float fold.
+		for j, b := range testValues {
+			if i == j {
+				continue
+			}
+			ka, kb := Row{a}.FullKey(), Row{b}.FullKey()
+			af, aok := a.AsFloat()
+			bf, bok := b.AsFloat()
+			if aok && bok && af == bf {
+				if ka != kb {
+					t.Errorf("numerically equal %s and %s should share a key: %q vs %q", a, b, ka, kb)
+				}
+				continue
+			}
+			if ka == kb {
+				t.Errorf("distinct values %s (%s) and %s (%s) collide on key %q", a, a.Kind(), b, b.Kind(), ka)
+			}
+		}
+	}
+}
+
+func TestAppendKeyAllocFree(t *testing.T) {
+	r := Row{NewInt(7), NewString("abc"), NewFloat(2.5), NewBool(true), Null}
+	idx := []int{0, 1, 2, 3, 4}
+	buf := make([]byte, 0, 64)
+	if n := testing.AllocsPerRun(100, func() { buf = r.AppendKey(buf[:0], idx) }); n != 0 {
+		t.Errorf("AppendKey allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestRowArena(t *testing.T) {
+	var a RowArena
+	l := Row{NewInt(1), NewString("x")}
+	r := Row{NewFloat(2.5)}
+	got := a.Concat(l, r)
+	want := l.Concat(r)
+	if len(got) != len(want) {
+		t.Fatalf("Concat length %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if Compare(got[i], want[i]) != 0 {
+			t.Fatalf("Concat[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	p := a.Project(got, []int{2, 0})
+	if p[0].Float() != 2.5 || p[1].Int() != 1 {
+		t.Fatalf("Project = %s", Row(p))
+	}
+	// Appending to an arena row must not tromp on a later allocation.
+	x := a.Make(1)
+	_ = append(got, NewInt(99))
+	if !x[0].IsNull() {
+		t.Fatalf("append to arena row overwrote neighbor: %s", x[0])
+	}
+	// Large requests beyond the chunk size still work.
+	big := a.Make(10000)
+	if len(big) != 10000 {
+		t.Fatalf("Make(10000) length %d", len(big))
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		var aa RowArena
+		for i := 0; i < 100; i++ {
+			aa.Concat(l, r)
+		}
+	}); n > 3 {
+		t.Errorf("arena Concat x100 allocates %.1f, want amortized <= 3", n)
+	}
+}

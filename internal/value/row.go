@@ -1,6 +1,9 @@
 package value
 
-import "strings"
+import (
+	"strconv"
+	"strings"
+)
 
 // Row is a flat tuple of values.
 type Row []Value
@@ -32,68 +35,62 @@ func (r Row) Concat(s Row) Row {
 // suitable for use as a map key in hash joins and distinct projection.
 // Numerically equal ints and floats map to the same key.
 func (r Row) Key(idx []int) string {
-	var b strings.Builder
-	for _, j := range idx {
-		writeKey(&b, r[j])
-	}
-	return b.String()
+	return string(r.AppendKey(nil, idx))
 }
 
 // FullKey returns a canonical string key over all of r's values.
 func (r Row) FullKey() string {
-	var b strings.Builder
-	for _, v := range r {
-		writeKey(&b, v)
-	}
-	return b.String()
+	return string(r.AppendFullKey(nil))
 }
 
-func writeKey(b *strings.Builder, v Value) {
+// AppendKey appends the canonical key encoding of r's values at idx to
+// dst and returns the extended slice. The bytes are identical to Key —
+// string(r.AppendKey(nil, idx)) == r.Key(idx) — but callers can reuse
+// one scratch buffer per operator, so the hot hash paths never allocate.
+func (r Row) AppendKey(dst []byte, idx []int) []byte {
+	for _, j := range idx {
+		dst = appendKeyValue(dst, r[j])
+	}
+	return dst
+}
+
+// AppendFullKey appends the canonical key encoding over all of r's
+// values, the byte-slice form of FullKey.
+func (r Row) AppendFullKey(dst []byte) []byte {
+	for _, v := range r {
+		dst = appendKeyValue(dst, v)
+	}
+	return dst
+}
+
+func appendKeyValue(dst []byte, v Value) []byte {
 	switch v.kind {
 	case KindNull:
-		b.WriteByte('n')
+		dst = append(dst, 'n')
 	case KindInt:
-		b.WriteByte('i')
-		writeInt(b, v.i)
+		dst = append(dst, 'i')
+		dst = strconv.AppendInt(dst, v.i, 10)
 	case KindFloat:
 		if v.f == float64(int64(v.f)) {
-			b.WriteByte('i')
-			writeInt(b, int64(v.f))
+			dst = append(dst, 'i')
+			dst = strconv.AppendInt(dst, int64(v.f), 10)
 		} else {
-			b.WriteByte('f')
-			b.WriteString(v.String())
+			dst = append(dst, 'f')
+			dst = strconv.AppendFloat(dst, v.f, 'g', -1, 64)
 		}
 	case KindString:
-		b.WriteByte('s')
-		writeInt(b, int64(len(v.s)))
-		b.WriteByte(':')
-		b.WriteString(v.s)
+		dst = append(dst, 's')
+		dst = strconv.AppendInt(dst, int64(len(v.s)), 10)
+		dst = append(dst, ':')
+		dst = append(dst, v.s...)
 	case KindBool:
 		if v.b {
-			b.WriteString("bt")
+			dst = append(dst, 'b', 't')
 		} else {
-			b.WriteString("bf")
+			dst = append(dst, 'b', 'f')
 		}
 	}
-	b.WriteByte('|')
-}
-
-func writeInt(b *strings.Builder, v int64) {
-	if v < 0 {
-		b.WriteByte('-')
-		v = -v
-	}
-	var buf [20]byte
-	i := len(buf)
-	for {
-		i--
-		buf[i] = byte('0' + v%10)
-		v /= 10
-		if v == 0 {
-			break
-		}
-	}
-	b.Write(buf[i:])
+	return append(dst, '|')
 }
 
 // HashKey hashes the projection of r onto idx.

@@ -8,8 +8,6 @@
 package value
 
 import (
-	"fmt"
-	"hash/fnv"
 	"math"
 	"strconv"
 )
@@ -40,7 +38,7 @@ func (k Kind) String() string {
 	case KindBool:
 		return "bool"
 	default:
-		return fmt.Sprintf("kind(%d)", uint8(k))
+		return "kind(" + strconv.Itoa(int(k)) + ")"
 	}
 }
 
@@ -94,7 +92,7 @@ func (v Value) IsNull() bool { return v.kind == KindNull }
 // Int returns the integer payload. It panics if v is not an int.
 func (v Value) Int() int64 {
 	if v.kind != KindInt {
-		panic(fmt.Sprintf("value: Int() on %s", v.kind))
+		panic("value: Int() on " + v.kind.String())
 	}
 	return v.i
 }
@@ -102,7 +100,7 @@ func (v Value) Int() int64 {
 // Float returns the float payload. It panics if v is not a float.
 func (v Value) Float() float64 {
 	if v.kind != KindFloat {
-		panic(fmt.Sprintf("value: Float() on %s", v.kind))
+		panic("value: Float() on " + v.kind.String())
 	}
 	return v.f
 }
@@ -110,7 +108,7 @@ func (v Value) Float() float64 {
 // Str returns the string payload. It panics if v is not a string.
 func (v Value) Str() string {
 	if v.kind != KindString {
-		panic(fmt.Sprintf("value: Str() on %s", v.kind))
+		panic("value: Str() on " + v.kind.String())
 	}
 	return v.s
 }
@@ -118,7 +116,7 @@ func (v Value) Str() string {
 // Bool returns the boolean payload. It panics if v is not a bool.
 func (v Value) Bool() bool {
 	if v.kind != KindBool {
-		panic(fmt.Sprintf("value: Bool() on %s", v.kind))
+		panic("value: Bool() on " + v.kind.String())
 	}
 	return v.b
 }
@@ -227,52 +225,68 @@ func Equal(a, b Value) bool {
 	return Compare(a, b) == 0
 }
 
+// FNV-1a parameters, inlined so hashing never allocates a hash.Hash64.
+// The digests are bit-identical to hash/fnv over the same byte stream
+// (value_test.go pins this), which keeps bloom-filter hits — and hence
+// cost-counter totals — stable across the change.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
 // Hash returns a 64-bit hash of v. Numerically equal ints and floats hash
 // identically so that cross-kind equi-joins work.
 func (v Value) Hash() uint64 {
-	h := fnv.New64a()
-	var buf [9]byte
+	h := fnvOffset64
 	switch v.kind {
 	case KindNull:
-		buf[0] = 0
-		h.Write(buf[:1])
+		h = fnvByte(h, 0)
 	case KindInt:
-		buf[0] = 1
-		putUint64(buf[1:], uint64(v.i))
-		h.Write(buf[:9])
+		h = fnvByte(h, 1)
+		h = fnvUint64(h, uint64(v.i))
 	case KindFloat:
 		if v.f == math.Trunc(v.f) && v.f >= math.MinInt64 && v.f <= math.MaxInt64 {
 			// Hash integral floats as ints for cross-kind equality.
-			buf[0] = 1
-			putUint64(buf[1:], uint64(int64(v.f)))
-			h.Write(buf[:9])
+			h = fnvByte(h, 1)
+			h = fnvUint64(h, uint64(int64(v.f)))
 		} else {
-			buf[0] = 2
-			putUint64(buf[1:], math.Float64bits(v.f))
-			h.Write(buf[:9])
+			h = fnvByte(h, 2)
+			h = fnvUint64(h, math.Float64bits(v.f))
 		}
 	case KindString:
-		buf[0] = 3
-		h.Write(buf[:1])
-		h.Write([]byte(v.s))
-	case KindBool:
-		buf[0] = 4
-		if v.b {
-			buf[1] = 1
+		h = fnvByte(h, 3)
+		for i := 0; i < len(v.s); i++ {
+			h = fnvByte(h, v.s[i])
 		}
-		h.Write(buf[:2])
+	case KindBool:
+		h = fnvByte(h, 4)
+		if v.b {
+			h = fnvByte(h, 1)
+		} else {
+			h = fnvByte(h, 0)
+		}
 	}
-	return h.Sum64()
+	return h
 }
 
-func putUint64(b []byte, v uint64) {
-	_ = b[7]
-	b[0] = byte(v)
-	b[1] = byte(v >> 8)
-	b[2] = byte(v >> 16)
-	b[3] = byte(v >> 24)
-	b[4] = byte(v >> 32)
-	b[5] = byte(v >> 40)
-	b[6] = byte(v >> 48)
-	b[7] = byte(v >> 56)
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime64 }
+
+// fnvUint64 mixes v little-endian byte by byte, the same order putUint64
+// fed hash/fnv before the hash was inlined.
+func fnvUint64(h uint64, v uint64) uint64 {
+	for s := 0; s < 64; s += 8 {
+		h = fnvByte(h, byte(v>>s))
+	}
+	return h
+}
+
+// HashBytes hashes a byte slice with the same FNV-1a stream as Hash. The
+// open-addressing hash tables in internal/exec use it over AppendKey
+// encodings.
+func HashBytes(b []byte) uint64 {
+	h := fnvOffset64
+	for _, c := range b {
+		h = fnvByte(h, c)
+	}
+	return h
 }
