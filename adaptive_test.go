@@ -1,0 +1,270 @@
+package filterjoin_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	filterjoin "filterjoin"
+	"filterjoin/internal/cost"
+	"filterjoin/internal/plan"
+)
+
+// adaptiveDB builds a workload where the optimizer's independence
+// assumption is off by 10x: Big.a and Big.b are perfectly correlated
+// (always equal), so sel(a=5 AND b=5) is estimated 0.1*0.1 = 0.01 but is
+// really 0.1. Histograms see each column alone and cannot help.
+func adaptiveDB(t *testing.T, cfg filterjoin.Config) *filterjoin.DB {
+	t.Helper()
+	db := filterjoin.Open(cfg)
+	if err := db.ExecScript(`
+		CREATE TABLE Big (id int, g int, a int, b int);
+		CREATE TABLE Small (g int, v int);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	const nBig, nSmall = 4000, 500
+	b.WriteString("INSERT INTO Big VALUES ")
+	for i := 0; i < nBig; i++ {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, "(%d,%d,%d,%d)", i, i%50, i%10, i%10)
+	}
+	b.WriteString("; INSERT INTO Small VALUES ")
+	for i := 0; i < nSmall; i++ {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, "(%d,%d)", i%50, i*7)
+	}
+	b.WriteString(";")
+	if err := db.ExecScript(b.String()); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// The ORDER BY matters for the replan tests: the Sort above the join is
+// a guarded materialization point fed by the misestimated stream (the
+// correlated filter's output), while the hash join's build side (Small)
+// is estimated accurately and never trips its own guard.
+const correlatedQuery = `
+	SELECT B.id, S.v FROM Big B, Small S
+	WHERE B.g = S.g AND B.a = 5 AND B.b = 5
+	ORDER BY B.id`
+
+// Mid-run replanning: the materialization guard must abandon the
+// misestimated plan, the rerun must produce exactly the static engine's
+// rows, and the replan must be charged on the measured counter.
+func TestAdaptiveReplanMidRun(t *testing.T) {
+	static := adaptiveDB(t, filterjoin.Config{})
+	want, err := static.Query(correlatedQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Cost.Replans != 0 {
+		t.Fatalf("static engine charged Replans = %d, want 0", want.Cost.Replans)
+	}
+
+	db := adaptiveDB(t, filterjoin.Config{AdaptiveReplan: true, ReplanRatio: 5})
+	res, err := db.Query(correlatedQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost.Replans == 0 {
+		t.Fatalf("10x-misestimated build did not trigger a replan (cost %s)", res.Cost.String())
+	}
+	if res.ReplannedFrom == nil || res.ReplanInfo == nil {
+		t.Fatal("result does not report the replan")
+	}
+	if res.ReplanInfo.Rows <= 0 || res.ReplanInfo.Est <= 0 {
+		t.Fatalf("ReplanInfo not populated: %+v", res.ReplanInfo)
+	}
+	if got, wantRows := fmt.Sprint(sortedRows(res.Rows)), fmt.Sprint(sortedRows(want.Rows)); got != wantRows {
+		t.Fatalf("replanned rows differ from static rows:\n%v\n%v", got, wantRows)
+	}
+
+	out, err := db.ExplainAnalyze(correlatedQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "replan=") {
+		t.Fatalf("EXPLAIN ANALYZE misses the replan banner:\n%s", out)
+	}
+	if !strings.Contains(out, "replan=") || !strings.Contains(res.Cost.String(), "replan=") {
+		t.Fatalf("measured counter should show the replan surcharge: %s", res.Cost.String())
+	}
+}
+
+// Statistics feedback and the plan cache (satellite: refined stats must
+// not leak through the cache): the first run misestimates and is fed
+// back, bumping the epoch, so the second run re-optimizes with corrected
+// estimates instead of serving the stale cached plan; the corrected run
+// produces no new feedback, so the third run is a clean cache hit.
+func TestAdaptiveFeedbackPlanCacheEpoch(t *testing.T) {
+	db := adaptiveDB(t, filterjoin.Config{AdaptiveFeedback: true})
+	eng := db.Engine()
+
+	epoch0 := eng.Epoch()
+	r1, err := db.Query(correlatedQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.CacheState != "miss" {
+		t.Fatalf("first run CacheState = %q, want miss", r1.CacheState)
+	}
+	epoch1 := eng.Epoch()
+	if epoch1 == epoch0 {
+		t.Fatal("10x misestimate was not absorbed: epoch did not move")
+	}
+
+	r2, err := db.Query(correlatedQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.CacheState != "miss" {
+		t.Fatalf("run after feedback CacheState = %q, want miss (stale plan must not be served)", r2.CacheState)
+	}
+	if got, want := fmt.Sprint(sortedRows(r2.Rows)), fmt.Sprint(sortedRows(r1.Rows)); got != want {
+		t.Fatalf("feedback changed query results:\n%v\n%v", got, want)
+	}
+	// The corrected plan's estimates match the actuals, so run 2 feeds
+	// nothing back (no epoch bump) and run 3 is a clean cache hit.
+	if eng.Epoch() != epoch1 {
+		t.Fatal("accurately-planned run must not bump the epoch again")
+	}
+	r3, err := db.Query(correlatedQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.CacheState != "hit" {
+		t.Fatalf("post-convergence CacheState = %q, want hit", r3.CacheState)
+	}
+	if eng.Epoch() != epoch1 {
+		t.Fatal("a converged query must stop bumping the epoch")
+	}
+
+	// The refined statistics must actually move the leaf estimate from
+	// the independence guess (~40 rows) to the measured truth (~400).
+	p, err := db.Plan(correlatedQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var leaf *plan.Node
+	p.Walk(func(n *plan.Node) {
+		if n.Source == "Big" {
+			leaf = n
+		}
+	})
+	if leaf == nil {
+		t.Fatal("plan has no Big leaf with feedback provenance")
+	}
+	if leaf.Rows < 300 || leaf.Rows > 500 {
+		t.Fatalf("post-feedback Big leaf estimate = %.0f rows, want ~400", leaf.Rows)
+	}
+
+	// Control: with feedback off the same workload serves the stale
+	// cached plan on the second run.
+	ctl := adaptiveDB(t, filterjoin.Config{})
+	if _, err := ctl.Query(correlatedQuery); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := ctl.Query(correlatedQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.CacheState != "hit" {
+		t.Fatalf("static control second run CacheState = %q, want hit", rc.CacheState)
+	}
+}
+
+// Steady state: after the workload converges, repeated runs hit the
+// cache and never move the epoch, regardless of how many warmup rounds
+// preceded them.
+func TestAdaptiveFeedbackConverges(t *testing.T) {
+	db := adaptiveDB(t, filterjoin.Config{AdaptiveFeedback: true})
+	eng := db.Engine()
+	for i := 0; i < 4; i++ {
+		if _, err := db.Query(correlatedQuery); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := eng.Epoch()
+	res, err := db.Query(correlatedQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheState != "hit" {
+		t.Fatalf("steady-state CacheState = %q, want hit", res.CacheState)
+	}
+	if eng.Epoch() != before {
+		t.Fatal("steady-state query keeps bumping the epoch: feedback does not converge")
+	}
+}
+
+// Cost attribution across a replanned run (satellite: no double-counted
+// instrumentation across re-opens): the abandoned plan's operators land
+// in the deferred bucket, the executed plan's operators in the tree, and
+// the two together account for every charged unit except the replan
+// surcharge itself, which — like Fallbacks — is charged at the root, not
+// inside any operator.
+func TestReplanCostConservation(t *testing.T) {
+	db := adaptiveDB(t, filterjoin.Config{AdaptiveReplan: true, ReplanRatio: 5})
+	res, err := db.Query(correlatedQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost.Replans == 0 {
+		t.Fatal("workload did not replan; conservation premise broken")
+	}
+	byNode, deferred, nDeferred := plan.StatsByNode(res.Plan, res.Stats())
+	if nDeferred == 0 {
+		t.Fatal("abandoned plan's instrumentation is missing from the profile")
+	}
+	var sum cost.Counter
+	for _, s := range byNode {
+		sum.Add(s.Self())
+	}
+	sum.Add(deferred)
+	want := res.Cost
+	want.Replans = 0
+	if sum != want {
+		t.Errorf("sum of Self + deferred = %s, want %s (measured %s)",
+			sum.String(), want.String(), res.Cost.String())
+	}
+}
+
+// With both adaptive features off (the default), the engine must be
+// bit-identical to the static engine in rows and counters, across the
+// row and batch execution paths — including the new Replans field.
+func TestAdaptiveDisabledBitIdentical(t *testing.T) {
+	row := adaptiveDB(t, filterjoin.Config{BatchSize: 1})
+	batch := adaptiveDB(t, filterjoin.Config{BatchSize: 1024})
+	queries := []string{
+		correlatedQuery,
+		`SELECT B.g, COUNT(*) FROM Big B WHERE B.a < 7 GROUP BY B.g`,
+		`SELECT B.id FROM Big B, Small S WHERE B.g = S.g AND B.b > 8 ORDER BY B.id`,
+	}
+	for _, q := range queries {
+		r1, err := row.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		r2, err := batch.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if r1.Cost != r2.Cost {
+			t.Errorf("query %q: row counter %s != batch counter %s", q, r1.Cost.String(), r2.Cost.String())
+		}
+		if r1.Cost.Replans != 0 || r2.Cost.Replans != 0 {
+			t.Errorf("query %q: disarmed engines charged replans (%d, %d)",
+				q, r1.Cost.Replans, r2.Cost.Replans)
+		}
+		if got, want := fmt.Sprint(sortedRows(r1.Rows)), fmt.Sprint(sortedRows(r2.Rows)); got != want {
+			t.Errorf("query %q: row/batch results differ", q)
+		}
+	}
+}

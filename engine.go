@@ -64,7 +64,22 @@ type Engine struct {
 	// FILTERJOIN_KERNELS; row results and cost counters are identical
 	// either way.
 	kernels bool
+
+	// Adaptive re-optimization knobs (DESIGN.md §15), resolved once at
+	// construction. Both default off, in which case guards stay disarmed
+	// and no feedback path runs: behavior, counters, and goldens are
+	// bit-identical to the static engine.
+	adaptFeedback bool
+	adaptReplan   bool
+	fbRatio       float64
+	replanRatio   float64
 }
+
+// maxReplans bounds mid-run re-optimizations per execution: after the
+// budget is spent the current plan runs to completion with guards
+// disarmed, so a pathologically oscillating coster cannot livelock a
+// query.
+const maxReplans = 2
 
 func newEngine(cfg Config) *Engine {
 	model := cost.DefaultModel()
@@ -87,16 +102,28 @@ func newEngine(cfg Config) *Engine {
 		batch = 1
 	}
 	o.BatchSize = batch
+	fbRatio := cfg.FeedbackRatio
+	if fbRatio <= 1 {
+		fbRatio = 2
+	}
+	replanRatio := cfg.ReplanRatio
+	if replanRatio <= 1 {
+		replanRatio = 10
+	}
 	e := &Engine{
-		cat:      cat,
-		proto:    o,
-		model:    model,
-		chaos:    cfg.Chaos,
-		retry:    cfg.Retry,
-		batch:    batch,
-		cache:    plancache.New(cfg.PlanCacheSize),
-		cacheOff: cfg.DisablePlanCache,
-		kernels:  resolveKernels(cfg.Kernels),
+		cat:           cat,
+		proto:         o,
+		model:         model,
+		chaos:         cfg.Chaos,
+		retry:         cfg.Retry,
+		batch:         batch,
+		cache:         plancache.New(cfg.PlanCacheSize),
+		cacheOff:      cfg.DisablePlanCache,
+		kernels:       resolveKernels(cfg.Kernels),
+		adaptFeedback: cfg.AdaptiveFeedback,
+		adaptReplan:   cfg.AdaptiveReplan,
+		fbRatio:       fbRatio,
+		replanRatio:   replanRatio,
 	}
 	if !cfg.DisableFilterJoin {
 		e.fj = core.NewMethod(cfg.FilterJoin)
@@ -267,12 +294,25 @@ func prepareArgs(sel *sql.SelectStmt, userArgs []value.Value) (norm *sql.SelectS
 	return norm, allArgs, nil
 }
 
-// serveSelect is the cached SELECT path: normalize, build the
-// selectivity-classed cache key, and either serve the cached plan or
-// optimize on a private fork and cache the result. The whole span —
-// lookup through execution — runs under the read lock so catalog
-// mutations cannot interleave with a scan.
+// serveSelect is the cached SELECT path: the shared-lock span (lookup
+// through execution), then — with no lock held — the statistics feedback
+// pass over the measured cardinalities. Feedback must run after the read
+// lock is released because absorbing it takes the write lock (an
+// in-place upgrade would deadlock against concurrent readers).
 func (e *Engine) serveSelect(stdctx context.Context, sel *sql.SelectStmt, userArgs []value.Value) (*Result, error) {
+	res, err := e.serveSelectShared(stdctx, sel, userArgs)
+	if err == nil {
+		e.absorbFeedback(res)
+	}
+	return res, err
+}
+
+// serveSelectShared is serveSelect's read-locked span: normalize, build
+// the selectivity-classed cache key, and either serve the cached plan or
+// optimize on a private fork and cache the result. The whole span —
+// lookup through execution — runs under the read lock (which it acquires
+// itself) so catalog mutations cannot interleave with a scan.
+func (e *Engine) serveSelectShared(stdctx context.Context, sel *sql.SelectStmt, userArgs []value.Value) (*Result, error) {
 	norm, allArgs, err := prepareArgs(sel, userArgs)
 	if err != nil {
 		return nil, err
@@ -317,7 +357,7 @@ func (e *Engine) serveSelect(stdctx context.Context, sel *sql.SelectStmt, userAr
 			return nil, err
 		}
 	}
-	res, err := e.runPlan(stdctx, p, allArgs)
+	res, err := e.runPlan(stdctx, p, allArgs, b)
 	if err != nil {
 		return nil, err
 	}
@@ -473,13 +513,24 @@ func (e *Engine) serveUnion(stdctx context.Context, u *sql.UnionStmt) (*Result, 
 }
 
 // explainSelect renders EXPLAIN (and EXPLAIN ANALYZE) output for a
-// SELECT through the same cache machinery as execution: the lookup both
-// consults and populates the cache, and the output ends with a
+// SELECT through the same cache machinery as execution; ANALYZE runs
+// feed the statistics feedback pass exactly like served SELECTs, after
+// the read-locked span releases.
+func (e *Engine) explainSelect(stdctx context.Context, sel *sql.SelectStmt, userArgs []value.Value, analyze bool, opts plan.AnalyzeOptions, stmtCost bool) (string, *plan.Node, error) {
+	out, p, res, err := e.explainSelectShared(stdctx, sel, userArgs, analyze, opts, stmtCost)
+	if err == nil && res != nil {
+		e.absorbFeedback(res)
+	}
+	return out, p, err
+}
+
+// explainSelectShared is explainSelect's read-locked span: the lookup
+// both consults and populates the cache, and the output ends with a
 // `cache=hit|miss|bypass` banner. A statement with unbound parameters
 // (prepare-time EXPLAIN with no arguments) plans a generic plan and
 // bypasses the cache: without values there is no selectivity class to
-// key on.
-func (e *Engine) explainSelect(stdctx context.Context, sel *sql.SelectStmt, userArgs []value.Value, analyze bool, opts plan.AnalyzeOptions, stmtCost bool) (string, *plan.Node, error) {
+// key on. The returned Result is non-nil only for ANALYZE runs.
+func (e *Engine) explainSelectShared(stdctx context.Context, sel *sql.SelectStmt, userArgs []value.Value, analyze bool, opts plan.AnalyzeOptions, stmtCost bool) (string, *plan.Node, *Result, error) {
 	var (
 		norm    *sql.SelectStmt
 		allArgs []value.Value
@@ -487,10 +538,10 @@ func (e *Engine) explainSelect(stdctx context.Context, sel *sql.SelectStmt, user
 	)
 	if sql.HasParams(sel) && len(userArgs) == 0 {
 		if n, err := sql.NumParams(sel); err != nil {
-			return "", nil, err
+			return "", nil, nil, err
 		} else if n > 0 {
 			if analyze {
-				return "", nil, fmt.Errorf("filterjoin: EXPLAIN ANALYZE requires all %d bind arguments", n)
+				return "", nil, nil, fmt.Errorf("filterjoin: EXPLAIN ANALYZE requires all %d bind arguments", n)
 			}
 			unbound = true
 			norm = sel
@@ -500,7 +551,7 @@ func (e *Engine) explainSelect(stdctx context.Context, sel *sql.SelectStmt, user
 		var err error
 		norm, allArgs, err = prepareArgs(sel, userArgs)
 		if err != nil {
-			return "", nil, err
+			return "", nil, nil, err
 		}
 	}
 	text := sql.FormatSelect(norm)
@@ -509,7 +560,7 @@ func (e *Engine) explainSelect(stdctx context.Context, sel *sql.SelectStmt, user
 	defer e.mu.RUnlock()
 	b, err := sql.BindSelectArgs(e.cat, norm, allArgs)
 	if err != nil {
-		return "", nil, err
+		return "", nil, nil, err
 	}
 
 	var (
@@ -540,21 +591,22 @@ func (e *Engine) explainSelect(stdctx context.Context, sel *sql.SelectStmt, user
 	if p == nil {
 		p, err = e.optimizeOnFork(b)
 		if err != nil {
-			return "", nil, err
+			return "", nil, nil, err
 		}
 	}
 
 	if analyze {
-		res, err := e.runPlan(stdctx, p, allArgs)
+		res, err := e.runPlan(stdctx, p, allArgs, b)
 		if err != nil {
-			return "", nil, err
+			return "", nil, nil, err
 		}
 		out := plan.FormatAnalyze(res.Plan, e.model, res.ops, res.Cost, opts)
 		out += degradedLine(res)
+		out += replanLine(res)
 		out += fmt.Sprintf("rows: %d\n", len(res.Rows))
 		out += fmt.Sprintf("cache=%s\n", state)
 		out += fmt.Sprintf("kernels=%s\n", e.kernelsBanner())
-		return out, p, nil
+		return out, p, res, nil
 	}
 	out := plan.Format(p, e.model)
 	if stmtCost {
@@ -562,7 +614,7 @@ func (e *Engine) explainSelect(stdctx context.Context, sel *sql.SelectStmt, user
 	}
 	out += fmt.Sprintf("cache=%s\n", state)
 	out += fmt.Sprintf("kernels=%s\n", e.kernelsBanner())
-	return out, p, nil
+	return out, p, nil, nil
 }
 
 // resolveKernels maps Config.Kernels onto the engine setting: "off"
@@ -613,7 +665,7 @@ func (e *Engine) queryBlock(stdctx context.Context, b *query.Block) (*Result, er
 	if err != nil {
 		return nil, err
 	}
-	res, err := e.runPlan(stdctx, p, nil)
+	res, err := e.runPlan(stdctx, p, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -635,7 +687,7 @@ func (e *Engine) planBlock(b *query.Block) (*plan.Node, error) {
 func (e *Engine) runPlanShared(stdctx context.Context, p *plan.Node) (*Result, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return e.runPlan(stdctx, p, nil)
+	return e.runPlan(stdctx, p, nil, nil)
 }
 
 // newExecContext builds the per-execution context: a fresh counter, the
@@ -657,36 +709,71 @@ func (e *Engine) newExecContext(stdctx context.Context, args []value.Value) *exe
 
 // runPlan executes a plan, collecting rows and measured counters, with
 // graceful degradation to the retained fault-free fallback on a
-// mid-query site error. Callers hold at least the read lock.
-func (e *Engine) runPlan(stdctx context.Context, p *plan.Node, args []value.Value) (*Result, error) {
+// mid-query site error and — when the block is available and adaptive
+// replanning is on — mid-run re-optimization at materialization points
+// (DESIGN.md §15). Callers hold at least the read lock. Passing a nil
+// block keeps the guards disarmed: the run is then bit-identical to the
+// static engine.
+func (e *Engine) runPlan(stdctx context.Context, p *plan.Node, args []value.Value, b *query.Block) (*Result, error) {
 	ctx := e.newExecContext(stdctx, args)
-	rows, err := exec.Drain(ctx, p.Make())
+	if e.adaptReplan && b != nil {
+		ctx.ReplanRatio = e.replanRatio
+	}
 	executed := p
-	var degradedFrom *plan.Node
-	var siteErr *dist.SiteError
-	if err != nil {
+	var (
+		degradedFrom  *plan.Node
+		siteErr       *dist.SiteError
+		replannedFrom *plan.Node
+		replanInfo    *exec.ReplanError
+	)
+	rows, err := exec.Drain(ctx, executed.Make())
+	for err != nil {
+		var re *exec.ReplanError
+		if errors.As(err, &re) {
+			// Mid-run re-optimization: a materialization point observed
+			// its input blow through the estimate by the replan ratio.
+			// Charge the replan, re-optimize the block with the observed
+			// cardinalities, and rerun in the SAME execution context so
+			// the abandoned plan's work stays on the bill (cost
+			// conservation holds across the switch).
+			ctx.Counter.Replans++
+			if replannedFrom == nil {
+				replannedFrom, replanInfo = executed, re
+			}
+			alt, ok := e.replanRemainder(b, ctx, re)
+			if !ok || ctx.Counter.Replans >= maxReplans {
+				// No better information, or the replan budget is spent:
+				// finish on the best plan we have with guards disarmed,
+				// so the loop always terminates.
+				ctx.ReplanRatio = 0
+			}
+			if ok {
+				executed = alt
+			}
+			rows, err = exec.Drain(ctx, executed.Make())
+			continue
+		}
 		var se *dist.SiteError
-		if !errors.As(err, &se) || p.Fallback == nil {
-			return nil, err
+		if errors.As(err, &se) && executed.Fallback != nil && degradedFrom == nil {
+			// Graceful degradation: a remote strategy exhausted its retry
+			// budget mid-query. Restart on the retained fault-free
+			// fallback in the SAME execution context, so the aborted
+			// primary's work stays on the bill and the observability
+			// layer shows the full price of the fault.
+			ctx.Counter.Fallbacks++
+			degradedFrom, siteErr, executed = executed, se, executed.Fallback
+			rows, err = exec.Drain(ctx, executed.Make())
+			continue
 		}
-		// Graceful degradation: a remote strategy exhausted its retry
-		// budget mid-query. Restart on the retained fault-free fallback
-		// in the SAME execution context, so the aborted primary's work
-		// stays on the bill (cost conservation holds across the switch)
-		// and the observability layer shows the full price of the fault.
-		ctx.Counter.Fallbacks++
-		degradedFrom, siteErr, executed = p, se, p.Fallback
-		rows, err = exec.Drain(ctx, executed.Make())
-		if err != nil {
-			return nil, err
-		}
+		return nil, err
 	}
 	cols := make([]string, executed.OutSchema.Len())
 	for i := range cols {
 		cols[i] = executed.OutSchema.Col(i).QualifiedName()
 	}
 	return &Result{Columns: cols, Rows: rows, Cost: *ctx.Counter, Plan: executed,
-		DegradedFrom: degradedFrom, SiteErr: siteErr, ops: ctx.OperatorStats()}, nil
+		DegradedFrom: degradedFrom, SiteErr: siteErr,
+		ReplannedFrom: replannedFrom, ReplanInfo: replanInfo, ops: ctx.OperatorStats()}, nil
 }
 
 // degradedLine renders the degradation banner appended to EXPLAIN
@@ -696,6 +783,16 @@ func degradedLine(res *Result) string {
 		return ""
 	}
 	return fmt.Sprintf("degraded=plan: primary aborted (%v); rows produced by fault-free fallback above\n", res.SiteErr)
+}
+
+// replanLine renders the adaptive-replan banner appended to EXPLAIN
+// ANALYZE output; empty on a run that finished on its first plan.
+func replanLine(res *Result) string {
+	if res.ReplannedFrom == nil || res.ReplanInfo == nil {
+		return ""
+	}
+	return fmt.Sprintf("replan=%d: %s saw %d rows against estimate %.0f; remainder re-optimized with observed cardinality above\n",
+		res.Cost.Replans, res.ReplanInfo.Where, res.ReplanInfo.Rows, res.ReplanInfo.Est)
 }
 
 // toValues converts user-facing bind arguments to engine values.

@@ -76,6 +76,14 @@ type Entry struct {
 	mu         sync.Mutex
 	tableStats *stats.RelStats
 	viewSchema *schema.Schema
+
+	// fb accumulates runtime cardinality feedback for stored relations
+	// (DESIGN.md §15); fbStats caches the feedback-corrected statistics
+	// per feedback version. Both are derived state: InvalidateStats
+	// resets them alongside the collected statistics.
+	fb        *stats.Feedback
+	fbStats   *stats.RelStats
+	fbVersion uint64
 }
 
 // Virtual reports whether the relation is a paper-sense virtual relation.
@@ -114,6 +122,17 @@ func (e *Entry) Stats() *stats.RelStats {
 		if e.tableStats == nil {
 			e.tableStats = stats.Collect(e.Table)
 		}
+		// Runtime feedback corrects the collected statistics copy-on-write:
+		// the collected base (whose histograms RelStats.Clone shares by
+		// pointer) is never touched, and the corrected version is cached
+		// until the next observation.
+		if e.fb != nil && !e.fb.Empty() {
+			if v := e.fb.Version(); e.fbStats == nil || e.fbVersion != v {
+				e.fbStats = e.fb.Apply(e.tableStats)
+				e.fbVersion = v
+			}
+			return e.fbStats
+		}
 		return e.tableStats
 	case KindFunc:
 		return e.FnStats
@@ -123,11 +142,38 @@ func (e *Entry) Stats() *stats.RelStats {
 	return nil
 }
 
-// InvalidateStats drops cached statistics (after bulk loads).
+// InvalidateStats drops cached statistics (after bulk loads), including
+// accumulated runtime feedback: observations made against the old data
+// must not correct statistics collected from the new data.
 func (e *Entry) InvalidateStats() {
 	e.mu.Lock()
 	e.tableStats = nil
+	e.fbStats = nil
+	if e.fb != nil {
+		e.fb.Reset()
+	}
 	e.mu.Unlock()
+}
+
+// Feedback returns the relation's runtime-feedback store, creating it on
+// first use. Entries are shared between an optimizer and its forks, so
+// the store — like the stats caches — is per-relation, not per-catalog.
+func (e *Entry) Feedback() *stats.Feedback {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.fb == nil {
+		e.fb = stats.NewFeedback()
+	}
+	return e.fb
+}
+
+// ObserveFeedback folds one measured selectivity into the relation's
+// feedback store and reports whether the store changed. A true return
+// means statistics-derived artifacts (cached plans, memoized view
+// leaves) are stale: the engine calling this under its write lock owes
+// an epoch bump before releasing it (enforced by optlint's lockepoch).
+func (e *Entry) ObserveFeedback(o stats.PredObservation) bool {
+	return e.Feedback().Observe(o)
 }
 
 // Catalog is a name → relation map.

@@ -113,6 +113,7 @@ var Registry = []Entry{
 	{"E17", "Fault-injected transport: retry recovery and graceful degradation", E17Robustness},
 	{"E18", "Serving throughput: plan cache hit rate and QPS, cached vs uncached", E18ServingThroughput},
 	{"E19", "Expression kernels: rows/sec and allocs, interpreted vs compiled", E19Kernels},
+	{"E20", "Adaptive re-optimization: feedback and mid-run replanning on correlated data", E20Adaptive},
 }
 
 // ByID finds an experiment by its id (case-insensitive).

@@ -53,6 +53,11 @@ var leMutators = map[string]bool{
 	"InvalidateStats": true,
 	"LoadCSV":         true,
 	"Drop":            true,
+	// Adaptive statistics feedback (DESIGN.md §15): recording an observed
+	// selectivity changes what future optimizations estimate, exactly
+	// like a stats invalidation, so every path absorbing feedback under
+	// the write lock owes the epoch bump.
+	"ObserveFeedback": true,
 }
 
 // leSummary is the per-engine-method effect summary applied at call

@@ -4,6 +4,7 @@
 package costcharge
 
 import (
+	"errors"
 	"sort"
 
 	"filterjoin/internal/exec"
@@ -342,3 +343,69 @@ func (k *kernelCharging) NextBatch(ctx *exec.Context, dst *exec.Batch, max int) 
 }
 
 func (k *kernelCharging) Close(ctx *exec.Context) error { return k.child.Close(ctx) }
+
+// guardPass mirrors the executor's cardinality guard (exec.CardGuard):
+// a pure pass-through that only counts rows and compares against a
+// threshold. No loop, no row work — counting is free, so the analyzer
+// must not demand a charge (the child it wraps charges for producing
+// the rows).
+type guardPass struct {
+	child exec.Operator
+	est   float64
+	n     int64
+}
+
+func (g *guardPass) Schema() *schema.Schema { return g.child.Schema() }
+
+func (g *guardPass) Open(ctx *exec.Context) error {
+	g.n = 0
+	return g.child.Open(ctx)
+}
+
+func (g *guardPass) Next(ctx *exec.Context) (value.Row, bool, error) {
+	r, ok, err := g.child.Next(ctx)
+	if ok {
+		g.n++
+		if float64(g.n) >= g.est*10 {
+			return nil, false, errReplan
+		}
+	}
+	return r, ok, err
+}
+
+func (g *guardPass) Close(ctx *exec.Context) error { return g.child.Close(ctx) }
+
+var errReplan = errors.New("replan")
+
+// guardFilter is the broken variant of a replan guard: it does real row
+// work — draining and discarding the remainder of its child in a loop —
+// without charging the discarded rows to the ledger. A replan path built
+// on it would drop the abandoned plan's counter deltas.
+type guardFilter struct {
+	child exec.Operator
+	est   float64
+	n     int64
+}
+
+func (g *guardFilter) Schema() *schema.Schema { return g.child.Schema() }
+
+func (g *guardFilter) Open(ctx *exec.Context) error { return g.child.Open(ctx) }
+
+func (g *guardFilter) Next(ctx *exec.Context) (value.Row, bool, error) { // want "guardFilter.Next does row work but no method of guardFilter reachable from Open/Next/NextBatch charges ctx.Counter"
+	r, ok, err := g.child.Next(ctx)
+	if ok {
+		g.n++
+		if float64(g.n) >= g.est*10 {
+			for {
+				_, more, derr := g.child.Next(ctx)
+				if derr != nil || !more {
+					break
+				}
+			}
+			return nil, false, errReplan
+		}
+	}
+	return r, ok, err
+}
+
+func (g *guardFilter) Close(ctx *exec.Context) error { return g.child.Close(ctx) }

@@ -155,3 +155,37 @@ func (e *engine) bootstrapInsert(name string, r int) {
 	e.cat.Lookup(name).Insert(r)
 	e.invalidateLocked()
 }
+
+// ObserveFeedback mirrors the adaptive statistics feedback path: it
+// records an observed selectivity on a catalog entry, changing what
+// future optimizations estimate — a mutation like any DDL.
+func (t *table) ObserveFeedback(sel float64) bool { return sel > 0 }
+
+// absorbFeedback is the disciplined adaptive path: write lock, record
+// the observations, bump + invalidate before returning.
+func (e *engine) absorbFeedback(name string, sels []float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t := e.cat.Lookup(name)
+	for _, s := range sels {
+		t.ObserveFeedback(s)
+	}
+	e.invalidateLocked()
+}
+
+// absorbFeedbackNoBump records feedback under the write lock but skips
+// the epoch bump: plans cached against the stale statistics survive.
+func (e *engine) absorbFeedbackNoBump(name string, sel float64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cat.Lookup(name).ObserveFeedback(sel)
+	return nil // want "return after catalog/model mutation without epoch bump \+ cache invalidation; stale cached plans survive the mutation"
+}
+
+// absorbFeedbackUnlocked records feedback with no lock at all.
+func (e *engine) absorbFeedbackUnlocked(name string, sel float64) {
+	e.cat.Lookup(name).ObserveFeedback(sel) // want "catalog/model mutation ObserveFeedback\(\) without the write lock held"
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.invalidateLocked()
+}

@@ -291,6 +291,12 @@ func (o *Optimizer) buildStoredLeaf(ctx *Ctx, ri *RelInfo) {
 		Ordering:  nil, // heap scans, index lookups, and Ship promise no order
 		Parallel:  parallel,
 		Make:      mk,
+		// Feedback provenance: the adaptive layer maps this node's
+		// measured output rows back to (relation, predicate) to correct
+		// the predicate's selectivity estimate (DESIGN.md §15).
+		Source:     ri.Entry.Name,
+		SourcePred: localLocal,
+		SourceRows: raw.Rows,
 	})
 }
 

@@ -156,7 +156,11 @@ func (o *Optimizer) finish(ctx *Ctx, joined *plan.Node) (*plan.Node, error) {
 				ColMap:    prev.ColMap,
 				Rels:      prev.Rels,
 				Ordering:  want,
-				Make:      func() exec.Operator { return exec.NewSort(mk(), keys, desc) },
+				// A full sort materializes its input: guard it for
+				// mid-run replanning (DESIGN.md §15).
+				Make: func() exec.Operator {
+					return exec.NewSort(exec.NewCardGuard(mk(), prev.Rows, "Sort", prev), keys, desc)
+				},
 			})
 		}
 	}
@@ -301,7 +305,11 @@ func (o *Optimizer) finishGroupBy(ctx *Ctx, prev *plan.Node) (*plan.Node, error)
 	var outOrd plan.Ordering
 	hint := int(rows + 0.5) // pre-size the group table from the estimate
 	mkOp := func() exec.Operator {
-		g := exec.NewGroupBy(mk(), groupPos, aggs)
+		// Hash aggregation materializes its input into the group table:
+		// guard it for mid-run replanning (DESIGN.md §15). The streaming
+		// variant below stays unguarded — it is a pipeline, not a
+		// materialization point.
+		g := exec.NewGroupBy(exec.NewCardGuard(mk(), prev.Rows, "GroupBy build", prev), groupPos, aggs)
 		g.SizeHint = hint
 		return g
 	}

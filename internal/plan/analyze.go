@@ -136,18 +136,30 @@ func formatAnalyze(b *strings.Builder, n *Node, m cost.Model, byNode map[*Node]*
 }
 
 // misestimate reports the est/act cardinality ratio when it exceeds the
-// threshold. Zero on either side counts as a miss only when the other
-// side alone exceeds the threshold.
+// threshold. Both sides are clamped to >= 1 before dividing: a zero or
+// fractional estimate against a nonzero actual must neither blow the
+// ratio up to Inf/NaN nor mute the flag — "estimated nothing, got n" is
+// exactly an n-fold miss. The same rule is the executor's replan trigger
+// (exec.CardGuard), so the flag and the trigger agree on what a
+// misestimate is.
 func misestimate(est, act, ratio float64) (float64, bool) {
-	if est < 0 {
-		est = 0
+	return Misestimate(est, act, ratio)
+}
+
+// Misestimate is the shared misestimate rule: the est/act cardinality
+// ratio, and whether it meets the threshold. Exported for the engine's
+// adaptive feedback pass, which must agree with the EXPLAIN ANALYZE flag
+// and the executor's replan trigger on what counts as a miss.
+func Misestimate(est, act, ratio float64) (float64, bool) {
+	if est < 1 {
+		est = 1
+	}
+	if act < 1 {
+		act = 1
 	}
 	lo, hi := est, act
 	if lo > hi {
 		lo, hi = hi, lo
-	}
-	if lo == 0 {
-		return hi, hi >= ratio
 	}
 	r := hi / lo
 	return r, r >= ratio

@@ -1,0 +1,56 @@
+package plan
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"filterjoin/internal/cost"
+	"filterjoin/internal/exec"
+)
+
+// Regression: a zero (or fractional) estimate against a nonzero actual
+// must flag a finite n-fold miss, never Inf/NaN, and never mute the
+// flag; the symmetric empty-actual case behaves the same.
+func TestMisestimateClampsEmptyEstimate(t *testing.T) {
+	cases := []struct {
+		est, act, ratio float64
+		wantR           float64
+		wantOff         bool
+	}{
+		{0, 50, 10, 50, true},       // estimated nothing, got 50: a 50-fold miss
+		{50, 0, 10, 50, true},       // estimated 50, got nothing
+		{0.2, 50, 10, 50, true},     // fractional estimate clamps to 1, not a 250x blowup
+		{0, 0, 10, 1, false},        // empty vs empty is exact
+		{0, 0.5, 10, 1, false},      // both sides below one row: exact, not 0/0
+		{40, 400, 10, 10, true},     // boundary: ratio met exactly
+		{40, 399, 10, 9.975, false}, // just under threshold
+		{40, 80, 10, 2, false},      // modest miss under threshold
+	}
+	for _, c := range cases {
+		r, off := Misestimate(c.est, c.act, c.ratio)
+		if math.IsInf(r, 0) || math.IsNaN(r) {
+			t.Errorf("Misestimate(%g, %g, %g) = %g: not finite", c.est, c.act, c.ratio, r)
+		}
+		if math.Abs(r-c.wantR) > 1e-9 || off != c.wantOff {
+			t.Errorf("Misestimate(%g, %g, %g) = (%g, %t), want (%g, %t)",
+				c.est, c.act, c.ratio, r, off, c.wantR, c.wantOff)
+		}
+	}
+}
+
+// The rendered EXPLAIN ANALYZE flag for a node with an empty estimate:
+// finite factor, no Inf/NaN anywhere in the output.
+func TestFormatAnalyzeEmptyEstimateNode(t *testing.T) {
+	n := &Node{Kind: "Select", Detail: "empty-estimate", Rows: 0}
+	ops := []*exec.OpStats{{Label: n.Kind, Tag: n, Opens: 1, Rows: 57}}
+	out := FormatAnalyze(n, cost.DefaultModel(), ops, cost.Counter{}, AnalyzeOptions{})
+	if !strings.Contains(out, "[rows misestimated x57.0]") {
+		t.Fatalf("missing finite misestimate flag:\n%s", out)
+	}
+	for _, bad := range []string{"Inf", "NaN"} {
+		if strings.Contains(out, bad) {
+			t.Fatalf("output contains %s:\n%s", bad, out)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"filterjoin/internal/cost"
 	"filterjoin/internal/exec"
+	"filterjoin/internal/expr"
 	"filterjoin/internal/query"
 	"filterjoin/internal/schema"
 	"filterjoin/internal/stats"
@@ -55,6 +56,17 @@ type Node struct {
 	// budget is exhausted. It is a sibling tree, not a child: Walk and
 	// Format do not descend into it.
 	Fallback *Node
+
+	// Source/SourcePred/SourceRows carry feedback provenance on leaf
+	// access nodes (DESIGN.md §15): the stored relation the node scans,
+	// the relation-local predicate it applies (nil for a full scan), and
+	// the relation's raw cardinality at plan time. The adaptive layer
+	// divides the node's measured output rows by SourceRows to obtain
+	// the predicate's observed selectivity and feeds it back into the
+	// relation's statistics. Empty/nil on derived and interior nodes.
+	Source     string
+	SourcePred expr.Expr
+	SourceRows float64
 
 	Extra any // method-specific annotation (e.g. Filter Join cost breakdown)
 }

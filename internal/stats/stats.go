@@ -36,13 +36,23 @@ type ColStats struct {
 type RelStats struct {
 	Rows float64
 	Cols []ColStats
+
+	// SelFix maps canonical predicate fingerprints (PredKey) to observed
+	// selectivities fed back from instrumented executions (DESIGN.md
+	// §15). Selectivity consults it before estimating structurally, so a
+	// predicate whose independence-assumption estimate was observed wrong
+	// (correlated conjuncts) is corrected on the next plan. The map is
+	// immutable once published: feedback application builds a fresh map
+	// (copy-on-write), never mutates one reachable from a Clone.
+	SelFix map[string]float64
 }
 
-// Clone deep-copies the stats (histograms are shared; they are immutable).
+// Clone deep-copies the stats (histograms and the SelFix map are shared;
+// they are immutable by convention — refinement replaces them wholesale).
 func (s *RelStats) Clone() *RelStats {
 	cols := make([]ColStats, len(s.Cols))
 	copy(cols, s.Cols)
-	return &RelStats{Rows: s.Rows, Cols: cols}
+	return &RelStats{Rows: s.Rows, Cols: cols, SelFix: s.SelFix}
 }
 
 // Collect computes full statistics for a stored table.
@@ -260,6 +270,14 @@ func JoinSelectivity(dl, dr float64) float64 {
 // relation's schema. Unrecognized predicate shapes fall back to the
 // System R default of 1/3 for inequalities and 1/10 for equalities.
 func Selectivity(e expr.Expr, s *RelStats) float64 {
+	// Feedback overrides first: an observed selectivity for this exact
+	// predicate shape beats any structural estimate (it is a measurement,
+	// not an assumption).
+	if len(s.SelFix) > 0 {
+		if v, ok := s.SelFix[PredKey(e)]; ok {
+			return clamp01(v)
+		}
+	}
 	switch p := e.(type) {
 	case expr.And:
 		sel := 1.0
